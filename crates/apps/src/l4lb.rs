@@ -1,0 +1,379 @@
+//! Layer-4 LB: stateful layer-4 load balancing (Tiara-style).
+//!
+//! The FPGA works as a SmartNIC distributing incoming flows to real
+//! servers (§5.1): new flows pick a backend from a consistent-hash ring;
+//! established flows stick to their backend through a connection table, so
+//! backend membership changes never break existing connections.
+
+use crate::common::{App, BitwPath};
+use harmonia_hw::ip::MacIp;
+use harmonia_hw::Vendor;
+use harmonia_shell::rbb::network::{FlowKey, PacketMeta};
+use harmonia_shell::{MemoryDemand, RoleSpec};
+use harmonia_sim::{Freq, Picos};
+use std::collections::HashMap;
+
+/// A real-server backend.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Backend {
+    /// Backend identifier (also its ring key).
+    pub id: u16,
+    /// Relative capacity weight.
+    pub weight: u16,
+}
+
+/// Load-balancer statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LbStats {
+    /// Packets on established connections.
+    pub established_hits: u64,
+    /// New connections admitted.
+    pub new_connections: u64,
+    /// Packets dropped because the connection table was full.
+    pub table_full_drops: u64,
+    /// Connections evicted by the idle-timeout sweeper.
+    pub aged_out: u64,
+}
+
+/// The stateful layer-4 load balancer.
+#[derive(Clone, Debug)]
+pub struct Layer4Lb {
+    ring: Vec<u16>,
+    backends: Vec<Backend>,
+    connections: HashMap<FlowKey, ConnEntry>,
+    capacity: usize,
+    idle_timeout_ps: Picos,
+    now_ps: Picos,
+    stats: LbStats,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct ConnEntry {
+    backend: u16,
+    last_seen_ps: Picos,
+}
+
+impl Layer4Lb {
+    /// Ring slots per unit of backend weight.
+    const SLOTS_PER_WEIGHT: usize = 16;
+
+    /// Creates a balancer with the given connection-table capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty or `capacity` is zero.
+    pub fn new(backends: Vec<Backend>, capacity: usize) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        assert!(capacity > 0, "connection table must have capacity");
+        let mut lb = Layer4Lb {
+            ring: Vec::new(),
+            backends,
+            connections: HashMap::new(),
+            capacity,
+            idle_timeout_ps: 60_000_000_000_000, // 60 s default
+            now_ps: 0,
+            stats: LbStats::default(),
+        };
+        lb.rebuild_ring();
+        lb
+    }
+
+    fn rebuild_ring(&mut self) {
+        // Weighted rendezvous-style ring: slots interleaved deterministically
+        // by hashing (backend, slot).
+        let mut slots: Vec<(u64, u16)> = Vec::new();
+        for b in &self.backends {
+            for s in 0..usize::from(b.weight) * Self::SLOTS_PER_WEIGHT {
+                let mut h = (u64::from(b.id) << 32) | s as u64;
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h ^= h >> 33;
+                slots.push((h, b.id));
+            }
+        }
+        slots.sort_unstable();
+        self.ring = slots.into_iter().map(|(_, id)| id).collect();
+    }
+
+    /// Current backends.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Adds a backend and rebuilds the ring (existing connections keep
+    /// their backend via the connection table).
+    pub fn add_backend(&mut self, backend: Backend) {
+        self.backends.retain(|b| b.id != backend.id);
+        self.backends.push(backend);
+        self.rebuild_ring();
+    }
+
+    /// Removes a backend. Established connections to it are flushed (the
+    /// servers are gone); other connections are untouched.
+    pub fn remove_backend(&mut self, id: u16) {
+        self.backends.retain(|b| b.id != id);
+        assert!(!self.backends.is_empty(), "removed the last backend");
+        self.connections.retain(|_, e| e.backend != id);
+        self.rebuild_ring();
+    }
+
+    /// Sets the idle timeout for connection aging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout_ps` is zero.
+    pub fn set_idle_timeout_ps(&mut self, timeout_ps: Picos) {
+        assert!(timeout_ps > 0, "idle timeout must be positive");
+        self.idle_timeout_ps = timeout_ps;
+    }
+
+    /// Advances the LB's clock (packet timestamps come from the shell's
+    /// monotonic time counter).
+    pub fn advance_time(&mut self, delta_ps: Picos) {
+        self.now_ps += delta_ps;
+    }
+
+    /// Evicts connections idle longer than the timeout; returns how many
+    /// were aged out. Production runs this as a background sweeper so the
+    /// table does not fill with dead flows.
+    pub fn sweep_idle(&mut self) -> usize {
+        let deadline = self.now_ps.saturating_sub(self.idle_timeout_ps);
+        let before = self.connections.len();
+        self.connections
+            .retain(|_, e| e.last_seen_ps >= deadline || e.last_seen_ps == 0 && deadline == 0);
+        let evicted = before - self.connections.len();
+        self.stats.aged_out += evicted as u64;
+        evicted
+    }
+
+    /// Picks the backend for a packet, creating connection state for new
+    /// flows. Returns `None` when the table is full and the flow is new.
+    pub fn dispatch(&mut self, pkt: &PacketMeta) -> Option<u16> {
+        let key = pkt.flow_key();
+        let now = self.now_ps;
+        if let Some(entry) = self.connections.get_mut(&key) {
+            entry.last_seen_ps = now;
+            self.stats.established_hits += 1;
+            return Some(entry.backend);
+        }
+        if self.connections.len() >= self.capacity {
+            self.stats.table_full_drops += 1;
+            return None;
+        }
+        let slot = (key.hash() % self.ring.len() as u64) as usize;
+        let backend = self.ring[slot];
+        self.connections.insert(
+            key,
+            ConnEntry {
+                backend,
+                last_seen_ps: now,
+            },
+        );
+        self.stats.new_connections += 1;
+        Some(backend)
+    }
+
+    /// Ends a connection, freeing its table entry.
+    pub fn close(&mut self, key: &FlowKey) -> bool {
+        self.connections.remove(key).is_some()
+    }
+
+    /// Live connection count.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> LbStats {
+        self.stats
+    }
+
+    /// The LB's BITW datapath (hash + table lookup ≈ 18 cycles).
+    pub fn datapath(&self) -> BitwPath {
+        BitwPath::new(MacIp::new(Vendor::Xilinx, 100), 18, Freq::mhz(322))
+    }
+}
+
+impl App for Layer4Lb {
+    fn name(&self) -> &'static str {
+        "Layer-4 LB"
+    }
+
+    fn role_spec(&self) -> RoleSpec {
+        RoleSpec::builder("layer4-lb")
+            .network_gbps(100)
+            .network_ports(2)
+            .memory(MemoryDemand::Ddr { channels: 1 }) // connection table spill
+            .queues(128)
+            .user_domain(Freq::mhz(322), 512)
+            .build()
+    }
+
+    fn role_loc(&self) -> u64 {
+        // Figure 3a: the shell is 79 % of the Layer-4 LB project.
+        9_500
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src_port: u16) -> PacketMeta {
+        PacketMeta {
+            dst_mac: 1,
+            src_ip: 0x0A00_0001,
+            dst_ip: 0x0A00_00FE,
+            src_port,
+            dst_port: 80,
+            proto: 6,
+            bytes: 128,
+        }
+    }
+
+    fn lb() -> Layer4Lb {
+        Layer4Lb::new(
+            (0..8).map(|id| Backend { id, weight: 1 }).collect(),
+            10_000,
+        )
+    }
+
+    #[test]
+    fn connections_are_sticky() {
+        let mut lb = lb();
+        let first = lb.dispatch(&pkt(1000)).unwrap();
+        for _ in 0..100 {
+            assert_eq!(lb.dispatch(&pkt(1000)), Some(first));
+        }
+        assert_eq!(lb.stats().new_connections, 1);
+        assert_eq!(lb.stats().established_hits, 100);
+    }
+
+    #[test]
+    fn flows_spread_across_backends() {
+        let mut lb = lb();
+        let mut counts = [0u32; 8];
+        for port in 0..4_000 {
+            let b = lb.dispatch(&pkt(port)).unwrap();
+            counts[usize::from(b)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (250..=750).contains(c),
+                "backend {i} got {c} of 4000 flows"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_bias_distribution() {
+        let mut lb = Layer4Lb::new(
+            vec![
+                Backend { id: 0, weight: 3 },
+                Backend { id: 1, weight: 1 },
+            ],
+            100_000,
+        );
+        let mut heavy = 0u32;
+        for port in 0..8_000 {
+            if lb.dispatch(&pkt(port)) == Some(0) {
+                heavy += 1;
+            }
+        }
+        let share = f64::from(heavy) / 8_000.0;
+        assert!((0.68..0.82).contains(&share), "weighted share {share:.2}");
+    }
+
+    #[test]
+    fn established_connections_survive_membership_changes() {
+        let mut lb = lb();
+        let backend = lb.dispatch(&pkt(42)).unwrap();
+        lb.add_backend(Backend { id: 99, weight: 4 });
+        if backend != 3 {
+            lb.remove_backend(3);
+        } else {
+            lb.remove_backend(4);
+        }
+        assert_eq!(lb.dispatch(&pkt(42)), Some(backend), "stateful pinning broke");
+    }
+
+    #[test]
+    fn removing_a_backend_flushes_only_its_connections() {
+        let mut lb = lb();
+        let mut victims = 0;
+        for port in 0..1_000 {
+            if lb.dispatch(&pkt(port)) == Some(2) {
+                victims += 1;
+            }
+        }
+        let before = lb.connection_count();
+        lb.remove_backend(2);
+        assert_eq!(lb.connection_count(), before - victims);
+    }
+
+    #[test]
+    fn table_capacity_drops_new_flows_only() {
+        let mut lb = Layer4Lb::new(vec![Backend { id: 0, weight: 1 }], 10);
+        for port in 0..10 {
+            lb.dispatch(&pkt(port)).unwrap();
+        }
+        assert_eq!(lb.dispatch(&pkt(99)), None);
+        assert_eq!(lb.stats().table_full_drops, 1);
+        // Established flows still flow.
+        assert_eq!(lb.dispatch(&pkt(5)), Some(0));
+        // Closing frees a slot.
+        assert!(lb.close(&pkt(5).flow_key()));
+        assert!(lb.dispatch(&pkt(99)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_backend_set_rejected() {
+        let _ = Layer4Lb::new(Vec::new(), 10);
+    }
+
+    #[test]
+    fn idle_connections_age_out_active_ones_survive() {
+        let mut lb = lb();
+        lb.set_idle_timeout_ps(1_000_000); // 1 µs for the test
+        let idle = lb.dispatch(&pkt(1)).unwrap();
+        lb.advance_time(600_000);
+        let active = lb.dispatch(&pkt(2)).unwrap(); // refreshed at t=0.6 µs
+        lb.advance_time(600_000); // now 1.2 µs: pkt(1) idle 1.2, pkt(2) idle 0.6
+        assert_eq!(lb.sweep_idle(), 1);
+        assert_eq!(lb.stats().aged_out, 1);
+        // The active flow kept its backend; the idle one re-establishes.
+        assert_eq!(lb.dispatch(&pkt(2)), Some(active));
+        assert_eq!(lb.stats().established_hits, 1);
+        let _ = idle;
+        lb.dispatch(&pkt(1)).unwrap(); // re-admitted as a *new* connection
+        assert_eq!(lb.connection_count(), 2);
+        assert_eq!(lb.stats().new_connections, 3);
+    }
+
+    #[test]
+    fn sweeping_frees_capacity_for_new_flows() {
+        let mut lb = Layer4Lb::new(vec![Backend { id: 0, weight: 1 }], 4);
+        lb.set_idle_timeout_ps(1_000);
+        for port in 0..4 {
+            lb.dispatch(&pkt(port)).unwrap();
+        }
+        assert_eq!(lb.dispatch(&pkt(99)), None); // full
+        lb.advance_time(10_000);
+        assert_eq!(lb.sweep_idle(), 4);
+        assert!(lb.dispatch(&pkt(99)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "idle timeout")]
+    fn zero_timeout_rejected() {
+        let mut lb = lb();
+        lb.set_idle_timeout_ps(0);
+    }
+
+    #[test]
+    fn datapath_line_rate() {
+        let p = lb().datapath().perf(256);
+        assert!(p.throughput > 80.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the application role logic.
+
+use harmonia_apps::host_network::{checksum_valid, internet_checksum};
+use harmonia_apps::storage::StorageOffload;
+use harmonia_apps::l4lb::{Backend, Layer4Lb};
+use harmonia_apps::retrieval::RetrievalEngine;
+use harmonia_apps::sec_gateway::{AclRule, Action, SecGateway};
+use harmonia_shell::rbb::network::PacketMeta;
+use proptest::prelude::*;
+
+fn arb_pkt() -> impl Strategy<Value = PacketMeta> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(
+        |(src_ip, dst_ip, src_port, dst_port)| PacketMeta {
+            dst_mac: 1,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: 6,
+            bytes: 128,
+        },
+    )
+}
+
+fn arb_rule() -> impl Strategy<Value = AclRule> {
+    (
+        any::<u32>(),
+        0u8..=32,
+        any::<u32>(),
+        0u8..=32,
+        proptest::option::of(any::<u16>()),
+        any::<u16>(),
+        any::<bool>(),
+    )
+        .prop_map(|(sa, sl, da, dl, port, priority, allow)| AclRule {
+            src: (sa, sl),
+            dst: (da, dl),
+            dst_port: port,
+            proto: None,
+            priority,
+            action: if allow { Action::Allow } else { Action::Deny },
+        })
+}
+
+proptest! {
+    /// The gateway's verdict equals the lowest-priority matching rule's
+    /// action (reference implementation), or the default.
+    #[test]
+    fn acl_first_match_semantics(
+        rules in proptest::collection::vec(arb_rule(), 0..40),
+        pkt in arb_pkt(),
+    ) {
+        let mut gw = SecGateway::new(Action::Allow);
+        for r in &rules {
+            gw.install_rule(*r).unwrap();
+        }
+        // Reference: stable sort by priority, first match wins. The
+        // gateway's insertion order is the tie-break for equal priorities,
+        // matching a stable sort of the original list.
+        let mut sorted: Vec<&AclRule> = rules.iter().collect();
+        sorted.sort_by_key(|r| r.priority);
+        let expect = sorted
+            .iter()
+            .find(|r| r.matches(&pkt))
+            .map_or(Action::Allow, |r| r.action);
+        prop_assert_eq!(gw.classify(&pkt), expect);
+    }
+
+    /// LB: flows are sticky, and removing an uninvolved backend never
+    /// remaps an established flow.
+    #[test]
+    fn lb_stickiness_under_churn(
+        ports in proptest::collection::vec(any::<u16>(), 1..200),
+        remove in 0u16..8,
+    ) {
+        let mut lb = Layer4Lb::new(
+            (0..8).map(|id| Backend { id, weight: 1 }).collect(),
+            100_000,
+        );
+        let pkt = |p: u16| PacketMeta {
+            dst_mac: 0,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: p,
+            dst_port: 80,
+            proto: 6,
+            bytes: 64,
+        };
+        let mut first: Vec<(u16, u16)> = Vec::new();
+        for &p in &ports {
+            if let Some(b) = lb.dispatch(&pkt(p)) {
+                first.push((p, b));
+            }
+        }
+        lb.remove_backend(remove);
+        for (p, b) in first {
+            if b != remove {
+                prop_assert_eq!(lb.dispatch(&pkt(p)), Some(b), "flow remapped");
+            } else {
+                // Flows of the removed backend must land somewhere else.
+                let nb = lb.dispatch(&pkt(p)).unwrap();
+                prop_assert_ne!(nb, remove);
+            }
+        }
+    }
+
+    /// RFC 1071: appending the checksum always validates; flipping any
+    /// single bit always invalidates.
+    #[test]
+    fn checksum_validates_and_detects(
+        mut data in proptest::collection::vec(any::<u8>(), 1..256),
+        bit in any::<usize>(),
+    ) {
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let csum = internet_checksum(&data);
+        let mut framed = data.clone();
+        framed.extend_from_slice(&csum.to_be_bytes());
+        prop_assert!(checksum_valid(&framed));
+        let bit = bit % (framed.len() * 8);
+        framed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!checksum_valid(&framed), "single-bit flip validated");
+    }
+
+    /// The LZ codec round-trips arbitrary byte strings exactly.
+    #[test]
+    fn lz_codec_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut eng = StorageOffload::new();
+        let packed = eng.compress(&data);
+        let unpacked = eng.decompress(&packed).expect("own output decodes");
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Low-entropy inputs never expand beyond framing overhead, and highly
+    /// repetitive ones always shrink.
+    #[test]
+    fn lz_codec_expansion_bounded(byte in any::<u8>(), n in 64usize..4096) {
+        let data = vec![byte; n];
+        let mut eng = StorageOffload::new();
+        let packed = eng.compress(&data);
+        prop_assert!(packed.len() < 32, "constant run of {n} took {} bytes", packed.len());
+    }
+
+    /// Top-K equals the exhaustive reference for arbitrary K and corpus.
+    #[test]
+    fn topk_matches_reference(seed in any::<u64>(), items in 1u64..400, k in 1usize..64) {
+        let e = RetrievalEngine::synthetic(seed, items, 8);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 - 3.5) / 4.0).collect();
+        let got = e.top_k(&q, k);
+        let mut scores: Vec<f32> = (0..items).map(|i| e.score(&q, i)).collect();
+        scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let want = &scores[..k.min(items as usize)];
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            prop_assert!((g.score - w).abs() < 1e-5, "score mismatch {} vs {}", g.score, w);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Criterion benches for the application role logic (Figure 17's kernels).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use harmonia::apps::common::to_packet_meta;
+use harmonia::apps::host_network::internet_checksum;
+use harmonia::apps::l4lb::Backend;
+use harmonia::apps::sec_gateway::{AclRule, Action};
+use harmonia::apps::{Layer4Lb, RetrievalEngine, SecGateway};
+use harmonia::workloads::{MatMulWorkload, PacketGen};
+
+const LOCAL_MAC: u64 = 0x02_00_00_00_00_01;
+
+fn bench_sec_gateway(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec_gateway");
+    let mut gw = SecGateway::new(Action::Allow);
+    for i in 0..512u32 {
+        gw.install_rule(AclRule {
+            src: (i << 20, 12),
+            dst: (0, 0),
+            dst_port: Some(443),
+            proto: Some(6),
+            priority: i as u16,
+            action: if i % 2 == 0 { Action::Deny } else { Action::Allow },
+        })
+        .unwrap();
+    }
+    let pkts: Vec<_> = PacketGen::new(4, LOCAL_MAC)
+        .fixed_size(64, 10_000)
+        .iter()
+        .map(to_packet_meta)
+        .collect();
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("classify_10k_against_512_rules", |b| {
+        b.iter(|| {
+            let mut denied = 0u32;
+            for p in &pkts {
+                if gw.classify(p) == Action::Deny {
+                    denied += 1;
+                }
+            }
+            black_box(denied)
+        })
+    });
+    g.finish();
+}
+
+fn bench_l4lb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l4lb");
+    let pkts: Vec<_> = PacketGen::new(5, LOCAL_MAC)
+        .with_flows(2_000)
+        .fixed_size(64, 10_000)
+        .iter()
+        .map(to_packet_meta)
+        .collect();
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("dispatch_10k_packets", |b| {
+        b.iter(|| {
+            let mut lb = Layer4Lb::new(
+                (0..16).map(|id| Backend { id, weight: 1 }).collect(),
+                100_000,
+            );
+            let mut hits = 0u32;
+            for p in &pkts {
+                if lb.dispatch(p).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    let payload: Vec<u8> = (0..1500).map(|i| (i % 251) as u8).collect();
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("rfc1071_1500B", |b| {
+        b.iter(|| black_box(internet_checksum(&payload)))
+    });
+    g.finish();
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retrieval");
+    g.sample_size(20);
+    let engine = RetrievalEngine::synthetic(9, 10_000, 64);
+    let query: Vec<f32> = (0..64).map(|i| (i as f32 * 0.21).cos()).collect();
+    g.throughput(Throughput::Elements(engine.items()));
+    g.bench_function("top64_of_10k", |b| {
+        b.iter(|| black_box(engine.top_k(&query, 64).len()))
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    let w = MatMulWorkload::paper();
+    let a: Vec<f32> = (0..64 * 64).map(|i| (i % 97) as f32 / 97.0).collect();
+    let bm: Vec<f32> = (0..64 * 64).map(|i| (i % 89) as f32 / 89.0).collect();
+    g.bench_function("multiply_64x64", |b| {
+        b.iter(|| black_box(w.multiply(&a, &bm)[0]))
+    });
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    use harmonia::apps::StorageOffload;
+    let mut g = c.benchmark_group("storage_offload");
+    let text: Vec<u8> = include_str!("../src/fig18.rs")
+        .as_bytes()
+        .repeat(8);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("lz_compress_source_text", |b| {
+        b.iter(|| {
+            let mut eng = StorageOffload::new();
+            black_box(eng.compress(&text).len())
+        })
+    });
+    let packed = StorageOffload::new().compress(&text);
+    g.throughput(Throughput::Bytes(packed.len() as u64));
+    g.bench_function("lz_decompress", |b| {
+        let eng = StorageOffload::new();
+        b.iter(|| black_box(eng.decompress(&packed).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sec_gateway,
+    bench_l4lb,
+    bench_checksum,
+    bench_retrieval,
+    bench_matmul,
+    bench_compression
+);
+criterion_main!(benches);

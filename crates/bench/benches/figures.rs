@@ -1,0 +1,50 @@
+//! Criterion timing of the figure generators themselves — one bench per
+//! paper table/figure family, so `cargo bench` regenerates every artifact
+//! under measurement.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig03_motivation", |b| {
+        b.iter(|| black_box(harmonia_bench::fig03::generate().len()))
+    });
+    g.bench_function("fig10_wrapper_micro", |b| {
+        b.iter(|| black_box(harmonia_bench::fig10::generate().len()))
+    });
+    g.bench_function("fig11_tailoring_resources", |b| {
+        b.iter(|| black_box(harmonia_bench::fig11::generate().len()))
+    });
+    g.bench_function("fig12_config_reduction", |b| {
+        b.iter(|| black_box(harmonia_bench::fig12::generate().len()))
+    });
+    g.bench_function("fig13_migration", |b| {
+        b.iter(|| black_box(harmonia_bench::fig13::generate().len()))
+    });
+    g.bench_function("fig14_rbb_reuse", |b| {
+        b.iter(|| black_box(harmonia_bench::fig14::generate().len()))
+    });
+    g.bench_function("fig15_app_reuse", |b| {
+        b.iter(|| black_box(harmonia_bench::fig15::generate().len()))
+    });
+    g.bench_function("fig16_overhead", |b| {
+        b.iter(|| black_box(harmonia_bench::fig16::generate().len()))
+    });
+    g.bench_function("fig17_app_perf", |b| {
+        b.iter(|| black_box(harmonia_bench::fig17::generate().len()))
+    });
+    g.bench_function("fig18_frameworks", |b| {
+        b.iter(|| black_box(harmonia_bench::fig18::generate().len()))
+    });
+    g.bench_function("tables_1_3_4", |b| {
+        b.iter(|| black_box(harmonia_bench::tables::generate().len()))
+    });
+    g.bench_function("ablations", |b| {
+        b.iter(|| black_box(harmonia_bench::ablation::generate().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Runs the ablation studies of DESIGN.md.
+fn main() {
+    harmonia_bench::print_all(&harmonia_bench::ablation::generate());
+}

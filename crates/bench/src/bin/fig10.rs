@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 10 artifacts.
+fn main() {
+    harmonia_bench::print_all(&harmonia_bench::fig10::generate());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 11 artifacts.
+fn main() {
+    harmonia_bench::print_all(&harmonia_bench::fig11::generate());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 12 artifacts.
+fn main() {
+    harmonia_bench::print_all(&harmonia_bench::fig12::generate());
+}

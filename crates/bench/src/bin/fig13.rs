@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 13 artifacts.
+fn main() {
+    harmonia_bench::print_all(&harmonia_bench::fig13::generate());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 17 artifacts.
+fn main() {
+    harmonia_bench::print_all(&harmonia_bench::fig17::generate());
+}

@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the evaluation in one run.
+fn main() {
+    let mut all = Vec::new();
+    all.extend(harmonia_bench::fig03::generate());
+    all.extend(harmonia_bench::fig10::generate());
+    all.extend(harmonia_bench::fig11::generate());
+    all.extend(harmonia_bench::fig12::generate());
+    all.extend(harmonia_bench::fig13::generate());
+    all.extend(harmonia_bench::fig14::generate());
+    all.extend(harmonia_bench::fig15::generate());
+    all.extend(harmonia_bench::fig16::generate());
+    all.extend(harmonia_bench::fig17::generate());
+    all.extend(harmonia_bench::fig18::generate());
+    all.extend(harmonia_bench::tables::generate());
+    all.extend(harmonia_bench::ablation::generate());
+    harmonia_bench::print_all(&all);
+}

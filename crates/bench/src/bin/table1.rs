@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (framework capabilities).
+fn main() {
+    println!("{}", harmonia_bench::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (device support).
+fn main() {
+    println!("{}", harmonia_bench::tables::table3());
+}

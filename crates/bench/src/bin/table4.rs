@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (register vs command configuration surface).
+fn main() {
+    println!("{}", harmonia_bench::tables::table4());
+}

@@ -1,0 +1,57 @@
+//! Evaluation harness: one module per paper artifact.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! generator here returning [`Table`](harmonia::metrics::Table)s with the
+//! same rows/series the paper reports. The `fig*`/`table*` binaries print
+//! them; `paper` prints everything; the Criterion benches under `benches/`
+//! time the underlying simulations.
+
+pub mod ablation;
+pub mod fig03;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod tables;
+
+/// Prints a list of tables with blank lines between them.
+pub fn print_all(tables: &[harmonia::metrics::Table]) {
+    for t in tables {
+        println!("{t}");
+    }
+}
+
+/// The five evaluation applications with their per-device role specs.
+pub mod roles {
+    use harmonia::apps::{App, BoardTest, HostNetwork, Layer4Lb, RetrievalEngine, SecGateway};
+    use harmonia::RoleSpec;
+
+    /// `(name, role)` for the five applications, in the paper's order.
+    pub fn all() -> Vec<(&'static str, RoleSpec)> {
+        vec![
+            ("Sec-Gateway", SecGateway::new(crate::roles::allow()).role_spec()),
+            ("Layer-4 LB", sample_lb().role_spec()),
+            ("Retrieval", RetrievalEngine::synthetic(1, 16, 8).role_spec()),
+            ("Board Test", BoardTest::new(1).role_spec()),
+            ("Host Network", HostNetwork::new(16).role_spec()),
+        ]
+    }
+
+    pub(crate) fn allow() -> harmonia::apps::sec_gateway::Action {
+        harmonia::apps::sec_gateway::Action::Allow
+    }
+
+    pub(crate) fn sample_lb() -> Layer4Lb {
+        Layer4Lb::new(
+            (0..4)
+                .map(|id| harmonia::apps::l4lb::Backend { id, weight: 1 })
+                .collect(),
+            1024,
+        )
+    }
+}

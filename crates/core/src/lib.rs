@@ -1,0 +1,68 @@
+//! # Harmonia — a unified framework for heterogeneous FPGA acceleration
+//!
+//! A full-system reproduction of *"Harmonia: A Unified Framework for
+//! Heterogeneous FPGA Acceleration in the Cloud"* (ASPLOS 2025), built on a
+//! cycle-level simulation substrate in place of physical FPGAs.
+//!
+//! Harmonia splits the shell–role architecture into two layers:
+//!
+//! * a **platform-specific layer** ([`platform`]) with automated device and
+//!   vendor adapters plus lightweight interface wrappers over vendor IPs;
+//! * a **platform-independent layer** ([`shell`]) with a unified shell of
+//!   Reusable Building Blocks, hierarchical tailoring, and a command-based
+//!   host interface ([`cmd`], [`host`]).
+//!
+//! The [`Harmonia`] entry point runs the §4 deployment lifecycle end to
+//! end: adapter generation, dependency inspection, shell tailoring,
+//! control-kernel attachment and module initialization.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use harmonia::{Harmonia, RoleSpec, MemoryDemand};
+//! use harmonia::hw::device::catalog;
+//!
+//! # fn main() -> Result<(), harmonia::DeployError> {
+//! let device = catalog::device_a();
+//! let role = RoleSpec::builder("my-accelerator")
+//!     .network_gbps(100)
+//!     .memory(MemoryDemand::Hbm)
+//!     .queues(128)
+//!     .build();
+//!
+//! let mut deployment = Harmonia::deploy(&device, &role)?;
+//! assert!(deployment.initialized());
+//! println!("shell uses {}", deployment.shell_resources());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod framework;
+pub mod project;
+pub mod validation;
+
+/// Simulation kernel (clocks, FIFOs, CDC primitives, statistics).
+pub use harmonia_sim as sim;
+/// Hardware substrate (devices, vendor IPs, registers, resources).
+pub use harmonia_hw as hw;
+/// Evaluation accounting (workloads, configs, diffs, fleet, tables).
+pub use harmonia_metrics as metrics;
+/// Platform-specific layer (adapters, interface wrappers).
+pub use harmonia_platform as platform;
+/// Platform-independent layer (RBBs, unified shell, tailoring).
+pub use harmonia_shell as shell;
+/// Command-based interface (packets, codes, unified control kernel).
+pub use harmonia_cmd as cmd;
+/// Host software stack (drivers, DMA engine, migration analysis).
+pub use harmonia_host as host;
+/// Workload generators.
+pub use harmonia_workloads as workloads;
+/// Baseline framework models (Vitis, oneAPI, Coyote).
+pub use harmonia_frameworks as frameworks;
+/// The five production applications.
+pub use harmonia_apps as apps;
+
+pub use framework::{DeployError, Deployment, Harmonia};
+pub use project::{build_project, ProjectBundle, ProjectError};
+pub use validation::{validate, ValidationReport};
+pub use harmonia_shell::{MemoryDemand, RoleSpec, TailoredShell, UnifiedShell};

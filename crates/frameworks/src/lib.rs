@@ -1,0 +1,15 @@
+//! Baseline framework models for the comparative evaluation (§5.4).
+//!
+//! Models of the frameworks the paper compares against — Vitis, oneAPI/OFS
+//! and Coyote — at the granularity the comparison needs: capability
+//! classification (Table 1), device-support matrices (Table 3), monolithic
+//! shell resource footprints (Figure 18a) and kernel-performance factors
+//! (Figures 18b–d).
+
+pub mod baseline;
+pub mod perf;
+pub mod shells;
+
+pub use baseline::{Capability, CapabilityMatrix, Framework};
+pub use perf::PerfFactors;
+pub use shells::baseline_shell_resources;

@@ -1,0 +1,91 @@
+//! Framework kernel-performance factors (Figures 18b–d).
+//!
+//! §5.4's conclusion is *comparability*: none of the frameworks adds
+//! datapath overhead to compute units, memory interfaces or network
+//! pipelines, so throughput matches within measurement noise and only
+//! small constant latency deltas exist (interconnect hops, runtime
+//! scheduling). These factors encode those small deltas.
+
+use crate::baseline::Framework;
+use harmonia_sim::{Freq, Picos};
+
+/// Per-framework performance factors.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PerfFactors {
+    /// Kernel clock the framework's flow typically closes timing at.
+    pub kernel_clock: Freq,
+    /// Multiplicative throughput efficiency (≈1.0 for all).
+    pub throughput_factor: f64,
+    /// Additive datapath latency from framework plumbing, ps.
+    pub extra_latency_ps: Picos,
+}
+
+impl PerfFactors {
+    /// The factors for a framework.
+    pub fn of(framework: Framework) -> PerfFactors {
+        match framework {
+            Framework::Vitis => PerfFactors {
+                kernel_clock: Freq::mhz(300),
+                throughput_factor: 1.00,
+                extra_latency_ps: 90_000, // AXI interconnect hops
+            },
+            Framework::OneApi => PerfFactors {
+                kernel_clock: Freq::mhz(480),
+                throughput_factor: 0.99,
+                extra_latency_ps: 70_000,
+            },
+            Framework::Coyote => PerfFactors {
+                kernel_clock: Freq::mhz(250),
+                throughput_factor: 1.00,
+                extra_latency_ps: 60_000,
+            },
+            Framework::Harmonia => PerfFactors {
+                kernel_clock: Freq::mhz(300),
+                throughput_factor: 1.00,
+                extra_latency_ps: 12_400, // 4-cycle wrapper at 322 MHz
+            },
+        }
+    }
+
+    /// Applies the factors to a raw throughput figure.
+    pub fn throughput(&self, raw: f64) -> f64 {
+        raw * self.throughput_factor
+    }
+
+    /// Applies the factors to a raw latency figure.
+    pub fn latency_ps(&self, raw: Picos) -> Picos {
+        raw + self.extra_latency_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_frameworks_within_a_few_percent() {
+        let t: Vec<f64> = Framework::ALL
+            .iter()
+            .map(|&f| PerfFactors::of(f).throughput(100.0))
+            .collect();
+        let min = t.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = t.iter().cloned().fold(0.0, f64::max);
+        assert!((max - min) / max < 0.02, "spread too wide: {t:?}");
+    }
+
+    #[test]
+    fn harmonia_latency_overhead_is_nanoseconds() {
+        let h = PerfFactors::of(Framework::Harmonia);
+        assert!(h.extra_latency_ps < 20_000);
+        // Negligible against a 5 µs application path (<1 %, §5.3).
+        let app: Picos = 5_000_000;
+        let ratio = h.extra_latency_ps as f64 / app as f64;
+        assert!(ratio < 0.01);
+    }
+
+    #[test]
+    fn latency_is_additive() {
+        let v = PerfFactors::of(Framework::Vitis);
+        assert_eq!(v.latency_ps(1_000_000), 1_090_000);
+    }
+}

@@ -1,0 +1,36 @@
+//! Host software stack for Harmonia.
+//!
+//! §2.1: host software "communicates with the FPGAs for data exchange and
+//! control operations", performing initialization (table configuration,
+//! task enablement) at deployment and data exchange at runtime. This crate
+//! models both control-path styles the paper compares:
+//!
+//! * [`reg_driver`] — the legacy register interface: per-device register
+//!   scripts whose addresses, lengths and op ordering change with every
+//!   platform (the ad-hoc-modification source of Figures 3d and 13);
+//! * [`cmd_driver`] — Harmonia's `cmd_read`/`cmd_write` interface driving
+//!   the unified control kernel;
+//! * [`dma`] — the DMA engine model with a separate control queue for
+//!   performance isolation from the data path;
+//! * [`migration`] — the Figure 13 analysis: modification counts when
+//!   moving an application between devices under each interface;
+//! * [`tool`] — the standalone control tool (one of the multiple
+//!   controllers production servers run concurrently);
+//! * [`irq`] — interrupt moderation for the latency-critical `irq` unified
+//!   type (coalescing windows and batch thresholds).
+
+pub mod bmc;
+pub mod cmd_driver;
+pub mod dma;
+pub mod irq;
+pub mod migration;
+pub mod reg_driver;
+pub mod tool;
+
+pub use bmc::{BmcController, BmcPolicy, BmcStatus};
+pub use cmd_driver::CommandDriver;
+pub use dma::DmaEngine;
+pub use irq::{IrqModeration, IrqModerator};
+pub use migration::{migration_report, MigrationReport};
+pub use reg_driver::RegisterDriver;
+pub use tool::ControlTool;

@@ -1,0 +1,149 @@
+//! Standalone control tool.
+//!
+//! Production servers host several controllers concurrently — applications,
+//! the BMC and standalone operations tools (§3.3.3) — which is why command
+//! execution is centralized in the FPGA-side kernel rather than any one
+//! host process. This tool is the operations-side controller: board health,
+//! statistics snapshots and module resets, all over the same command
+//! interface with its own `SrcID`.
+
+use crate::cmd_driver::CommandDriver;
+use crate::dma::DmaEngine;
+use harmonia_cmd::{CommandCode, KernelError, SrcId, UnifiedControlKernel};
+use harmonia_shell::TailoredShell;
+use std::fmt;
+
+/// A board-health snapshot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// FPGA junction temperature, °C.
+    pub temp_fpga_c: u32,
+    /// Board ambient temperature, °C.
+    pub temp_board_c: u32,
+    /// Core voltage, millivolts.
+    pub vccint_mv: u32,
+    /// 12 V rail, millivolts.
+    pub vcc12_mv: u32,
+}
+
+impl fmt::Display for HealthSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fpga {}°C, board {}°C, vccint {} mV, 12V rail {} mV",
+            self.temp_fpga_c, self.temp_board_c, self.vccint_mv, self.vcc12_mv
+        )
+    }
+}
+
+/// The standalone operations tool.
+#[derive(Debug)]
+pub struct ControlTool {
+    driver: CommandDriver,
+}
+
+impl ControlTool {
+    /// Connects the tool to a kernel through a DMA engine.
+    pub fn connect(engine: DmaEngine, kernel: UnifiedControlKernel) -> Self {
+        ControlTool {
+            driver: CommandDriver::with_src(SrcId::CtrlTool, engine, kernel),
+        }
+    }
+
+    /// Reads the board health block.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-side failures.
+    pub fn health(&mut self) -> Result<HealthSnapshot, KernelError> {
+        let resp = self
+            .driver
+            .cmd_raw(0, 0, CommandCode::HealthRead, Vec::new())?;
+        let [t1, t2, v1, v2] = resp.data[..] else {
+            return Err(KernelError::BadPayload {
+                expected: "4-word health block",
+            });
+        };
+        Ok(HealthSnapshot {
+            temp_fpga_c: t1,
+            temp_board_c: t2,
+            vccint_mv: v1,
+            vcc12_mv: v2,
+        })
+    }
+
+    /// Reads every module's statistics and the board health.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-side failures.
+    pub fn stats_snapshot(&mut self, shell: &TailoredShell) -> Result<Vec<u32>, KernelError> {
+        self.driver.read_all_stats(shell)
+    }
+
+    /// Resets one module.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-side failures.
+    pub fn reset_module(&mut self, rbb_id: u8, instance: u8) -> Result<(), KernelError> {
+        self.driver
+            .cmd_raw(rbb_id, instance, CommandCode::ModuleReset, Vec::new())
+            .map(|_| ())
+    }
+
+    /// The underlying driver (for inspection in tests/benches).
+    pub fn driver(&self) -> &CommandDriver {
+        &self.driver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_hw::device::catalog;
+    use harmonia_hw::ip::PcieDmaIp;
+    use harmonia_hw::Vendor;
+    use harmonia_shell::{RoleSpec, TailoredShell, UnifiedShell};
+
+    fn tool_and_shell() -> (ControlTool, TailoredShell) {
+        let dev = catalog::device_a();
+        let unified = UnifiedShell::for_device(&dev);
+        let role = RoleSpec::builder("ops").network_gbps(100).build();
+        let shell = TailoredShell::tailor(&unified, &role).unwrap();
+        let mut kernel = UnifiedControlKernel::new(32);
+        kernel.attach_shell(shell.rbbs().iter().map(|r| r.as_ref()));
+        let engine = DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, 4, 8));
+        (ControlTool::connect(engine, kernel), shell)
+    }
+
+    #[test]
+    fn health_snapshot_reads_sensors() {
+        let (mut tool, _) = tool_and_shell();
+        let h = tool.health().unwrap();
+        assert_eq!(h.temp_fpga_c, 41);
+        assert_eq!(h.vcc12_mv, 12_010);
+        assert!(h.to_string().contains("41°C"));
+    }
+
+    #[test]
+    fn stats_snapshot_covers_all_modules() {
+        let (mut tool, shell) = tool_and_shell();
+        let stats = tool.stats_snapshot(&shell).unwrap();
+        // 2 network (28 each) + host (32) + health (4).
+        assert_eq!(stats.len(), 2 * 28 + 32 + 4);
+    }
+
+    #[test]
+    fn reset_module_round_trip() {
+        let (mut tool, _) = tool_and_shell();
+        tool.reset_module(1, 0).unwrap();
+        assert!(tool.reset_module(2, 0).is_err()); // no memory module
+    }
+
+    #[test]
+    fn tool_identifies_as_ctrl_tool() {
+        let (tool, _) = tool_and_shell();
+        assert_eq!(tool.driver().src(), SrcId::CtrlTool);
+    }
+}

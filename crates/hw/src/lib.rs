@@ -1,0 +1,44 @@
+//! Hardware substrate for the Harmonia reproduction.
+//!
+//! Everything the paper's framework sits on top of — and everything a
+//! software reproduction must therefore model — lives here:
+//!
+//! * [`vendor`] — FPGA vendors, chip families and process nodes (§3.3.1's
+//!   "FPGA generation" notion);
+//! * [`resource`] — on-chip resource accounting (LUT/REG/BRAM/URAM/DSP);
+//! * [`device`] — the heterogeneous device catalog of Table 2 (Devices A–D)
+//!   plus the supported chip families;
+//! * [`iface`] — signal-level interface specifications for AXI4 and Avalon
+//!   protocol variants, used to quantify vendor-specific module differences
+//!   (Figure 3b);
+//! * [`regfile`] — 32-bit register files and register-operation scripts,
+//!   the substrate of both the legacy register interface and the
+//!   command-based interface;
+//! * [`ip`] — vendor IP models: MAC (25/100/400G), PCIe DMA (Gen3/4/5),
+//!   DDR3/DDR4 controllers and HBM, each with a native (vendor-specific)
+//!   interface, a cycle-level performance model and a vendor-specific
+//!   initialization sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use harmonia_hw::device::catalog;
+//! use harmonia_hw::Vendor;
+//!
+//! let a = catalog::device_a();
+//! assert_eq!(a.vendor(), Vendor::Xilinx);
+//! assert!(a.capacity().lut > 800_000);
+//! ```
+
+pub mod device;
+pub mod iface;
+pub mod ip;
+pub mod regfile;
+pub mod resource;
+pub mod vendor;
+
+pub use device::{DeviceId, FpgaDevice, Peripheral};
+pub use iface::{InterfaceSpec, Protocol, SignalDir, SignalSpec};
+pub use regfile::{Access, RegOp, RegisterFile};
+pub use resource::{ResourceKind, ResourceUsage};
+pub use vendor::{ChipFamily, Vendor};

@@ -1,0 +1,93 @@
+//! Generic modification counting between operation sequences.
+//!
+//! Figure 13 counts "software modifications" when migrating between
+//! devices: each line of a control script that must be added or removed is
+//! one modification. [`lcs_diff`] computes that count for any comparable
+//! item type via a longest-common-subsequence alignment.
+
+/// Number of insertions plus deletions needed to turn `a` into `b` under an
+/// LCS alignment (a replaced line counts as one deletion + one insertion,
+/// matching how a code review diff displays it).
+///
+/// ```
+/// use harmonia_metrics::lcs_diff;
+/// assert_eq!(lcs_diff(&[1, 2, 3], &[1, 9, 3]), 2);
+/// assert_eq!(lcs_diff::<u8>(&[], &[]), 0);
+/// ```
+pub fn lcs_diff<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return n + m;
+    }
+    // Two-row LCS DP keeps memory linear in the shorter script.
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            cur[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let lcs = prev[m];
+    (n - lcs) + (m - lcs)
+}
+
+/// Relative reduction factor between two modification counts; `None` when
+/// the denominator is zero.
+pub fn reduction_factor(before: usize, after: usize) -> Option<f64> {
+    if after == 0 {
+        None
+    } else {
+        Some(before as f64 / after as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_need_no_edits() {
+        let s = vec!["a", "b", "c"];
+        assert_eq!(lcs_diff(&s, &s), 0);
+    }
+
+    #[test]
+    fn disjoint_sequences_cost_everything() {
+        assert_eq!(lcs_diff(&[1, 2], &[3, 4, 5]), 5);
+    }
+
+    #[test]
+    fn insertion_only() {
+        assert_eq!(lcs_diff(&[1, 3], &[1, 2, 3]), 1);
+    }
+
+    #[test]
+    fn deletion_only() {
+        assert_eq!(lcs_diff(&[1, 2, 3], &[1, 3]), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1, 5, 2, 6, 3];
+        let b = [5, 1, 6, 2, 3];
+        assert_eq!(lcs_diff(&a, &b), lcs_diff(&b, &a));
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(lcs_diff::<u8>(&[], &[1, 2]), 2);
+        assert_eq!(lcs_diff::<u8>(&[1], &[]), 1);
+    }
+
+    #[test]
+    fn reduction_factor_math() {
+        assert_eq!(reduction_factor(100, 4), Some(25.0));
+        assert_eq!(reduction_factor(100, 0), None);
+    }
+}

@@ -1,0 +1,11 @@
+//! Automated platform adapters (§3.2).
+//!
+//! Platform differences split by dependency: resource differences related
+//! to FPGA *devices* are handled by [`device::DeviceAdapter`], deployment
+//! differences related to *vendors* by [`vendor::VendorAdapter`]. Both are
+//! "generated using vendor-provided tcl and ruby scripts" in production —
+//! modelled here as `generate` constructors that derive the adapter
+//! contents from the device/vendor descriptions automatically.
+
+pub mod device;
+pub mod vendor;

@@ -1,0 +1,47 @@
+//! Harmonia's platform-independent layer (§3.3): the unified shell.
+//!
+//! * [`rbb`] — the Reusable Building Block abstraction and the three
+//!   production RBBs: [`rbb::NetworkRbb`] (packet filter, flow director,
+//!   traffic monitors), [`rbb::MemoryRbb`] (address interleaving, hot
+//!   cache) and [`rbb::HostRbb`] (1K-queue multi-tenant isolation with
+//!   active-queue scheduling);
+//! * [`cdc`] — the parameterized clock-domain crossing that joins an RBB at
+//!   `S` MHz × `M` bits to user logic at `R` MHz × `U` bits losslessly when
+//!   `S × M = R × U`;
+//! * [`unified`] — the one-size-fits-all [`unified::UnifiedShell`] holding
+//!   every RBB a device supports plus shell management logic;
+//! * [`tailor`] — hierarchical shell tailoring: module-level RBB/instance
+//!   selection and property-level configuration splitting, producing the
+//!   role-specific shells of Figures 11 and 12;
+//! * [`role`] — role requirement descriptions used to drive tailoring;
+//! * [`pr`] — multi-tenancy via partial reconfiguration: PR slots over the
+//!   role region with per-tenant queue isolation (§6, Discussion).
+//!
+//! # Example
+//!
+//! ```
+//! use harmonia_shell::{RoleSpec, UnifiedShell, TailoredShell};
+//! use harmonia_hw::device::catalog;
+//!
+//! let device = catalog::device_a();
+//! let unified = UnifiedShell::for_device(&device);
+//! let role = RoleSpec::builder("demo").network_gbps(100).build();
+//! let tailored = TailoredShell::tailor(&unified, &role).unwrap();
+//! assert!(tailored.resources().lut < unified.resources().lut);
+//! ```
+
+pub mod cdc;
+pub mod datapath;
+pub mod pr;
+pub mod rbb;
+pub mod role;
+pub mod tailor;
+pub mod unified;
+
+pub use cdc::ParamCdc;
+pub use datapath::{DatapathReport, DatapathSim};
+pub use pr::{MultiTenantRegion, TenancyError, TenantRole};
+pub use rbb::{MigrationKind, Rbb, RbbKind};
+pub use role::{MemoryDemand, RoleSpec};
+pub use tailor::{TailorError, TailoredShell};
+pub use unified::UnifiedShell;

@@ -1,0 +1,192 @@
+//! Simulation time, frequencies and clock domains.
+//!
+//! All simulation time is expressed in integer picoseconds ([`Picos`]),
+//! which keeps arithmetic exact for every clock frequency the framework
+//! models (25G MAC at 390.625 MHz, PCIe user clocks, DDR controllers, …).
+
+use std::fmt;
+
+/// Simulation time in picoseconds.
+pub type Picos = u64;
+
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// A clock frequency, stored in hertz for exactness.
+///
+/// ```
+/// use harmonia_sim::Freq;
+/// let f = Freq::mhz(250);
+/// assert_eq!(f.hz(), 250_000_000);
+/// assert_eq!(f.period_ps(), 4_000);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero: a zero-frequency clock never ticks and any
+    /// component on it would silently deadlock the simulation.
+    pub fn hz(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a frequency from hertz.
+    pub fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be non-zero");
+        Freq(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn mhz(mhz: u64) -> Self {
+        Self::from_hz(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from kilohertz (used for fractional-MHz clocks
+    /// such as the 390.625 MHz 25G MAC core clock).
+    pub fn khz(khz: u64) -> Self {
+        Self::from_hz(khz * 1_000)
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn ghz(ghz: u64) -> Self {
+        Self::from_hz(ghz * 1_000_000_000)
+    }
+
+    /// The clock period in picoseconds, rounded down.
+    pub fn period_ps(self) -> Picos {
+        PS_PER_SEC / self.0
+    }
+
+    /// Frequency in MHz as a float, for reporting.
+    pub fn as_mhz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000) {
+            write!(f, "{} MHz", self.0 / 1_000_000)
+        } else {
+            write!(f, "{:.3} MHz", self.as_mhz())
+        }
+    }
+}
+
+/// A clock domain: a frequency plus conversion helpers between cycle counts
+/// and wall-clock picoseconds.
+///
+/// ```
+/// use harmonia_sim::{ClockDomain, Freq};
+/// let clk = ClockDomain::new(Freq::mhz(100));
+/// assert_eq!(clk.ps_at_cycle(5), 50_000);
+/// assert_eq!(clk.cycle_at(50_000), 5);
+/// assert_eq!(clk.cycles_in(1_000_000), 100);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    freq: Freq,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain at the given frequency.
+    pub fn new(freq: Freq) -> Self {
+        ClockDomain { freq }
+    }
+
+    /// The domain's frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// The clock period in picoseconds.
+    pub fn period_ps(&self) -> Picos {
+        self.freq.period_ps()
+    }
+
+    /// Time of the `n`-th rising edge (edge 0 is at time 0).
+    pub fn ps_at_cycle(&self, cycle: u64) -> Picos {
+        cycle * self.period_ps()
+    }
+
+    /// Number of complete cycles elapsed at time `ps`.
+    pub fn cycle_at(&self, ps: Picos) -> u64 {
+        ps / self.period_ps()
+    }
+
+    /// Number of rising edges within a window of `window_ps` picoseconds.
+    pub fn cycles_in(&self, window_ps: Picos) -> u64 {
+        window_ps / self.period_ps()
+    }
+
+    /// Converts a number of cycles in this domain to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        (cycles * self.period_ps()) as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clock@{}", self.freq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_constructors_agree() {
+        assert_eq!(Freq::mhz(100), Freq::khz(100_000));
+        assert_eq!(Freq::ghz(1), Freq::mhz(1_000));
+        assert_eq!(Freq::from_hz(322_265_625).period_ps(), 3_103);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = Freq::from_hz(0);
+    }
+
+    #[test]
+    fn period_of_common_clocks() {
+        assert_eq!(Freq::mhz(250).period_ps(), 4_000);
+        assert_eq!(Freq::mhz(322).period_ps(), 3_105);
+        assert_eq!(Freq::khz(390_625).period_ps(), 2_560);
+    }
+
+    #[test]
+    fn cycle_time_round_trip() {
+        let clk = ClockDomain::new(Freq::mhz(322));
+        for c in [0u64, 1, 7, 1000, 123_456] {
+            assert_eq!(clk.cycle_at(clk.ps_at_cycle(c)), c);
+        }
+    }
+
+    #[test]
+    fn cycles_in_window() {
+        let clk = ClockDomain::new(Freq::mhz(100)); // 10 ns period
+        assert_eq!(clk.cycles_in(95_000), 9);
+        assert_eq!(clk.cycles_in(100_000), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Freq::mhz(250).to_string(), "250 MHz");
+        assert_eq!(Freq::khz(390_625).to_string(), "390.625 MHz");
+        assert_eq!(
+            ClockDomain::new(Freq::mhz(100)).to_string(),
+            "clock@100 MHz"
+        );
+    }
+
+    #[test]
+    fn cycles_to_ns() {
+        let clk = ClockDomain::new(Freq::mhz(250));
+        assert!((clk.cycles_to_ns(3) - 12.0).abs() < 1e-9);
+    }
+}

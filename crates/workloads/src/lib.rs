@@ -1,0 +1,25 @@
+//! Workload generators for the Harmonia evaluation.
+//!
+//! Deterministic (seeded) generators for every traffic type the paper's
+//! benchmarks exercise:
+//!
+//! * [`packet`] — network packet streams (fixed-size sweeps, IMIX, flow
+//!   mixes) for the BITW applications and MAC micro-benchmarks;
+//! * [`memtrace`] — memory traces (sequential / fixed / random, read /
+//!   write) for the DDR/HBM micro-benchmarks;
+//! * [`matmul`] — the 64×64 single-precision matrix-multiplication compute
+//!   benchmark (Figure 18b);
+//! * [`vectordb`] — the vector-database access benchmark (Figure 18c);
+//! * [`tcp`] — the TCP transmission benchmark (Figure 18d).
+
+pub mod matmul;
+pub mod memtrace;
+pub mod packet;
+pub mod tcp;
+pub mod vectordb;
+
+pub use matmul::MatMulWorkload;
+pub use memtrace::{AccessPattern, MemTraceGen};
+pub use packet::{PacketGen, WorkloadPacket};
+pub use tcp::TcpWorkload;
+pub use vectordb::{AccessMode, VectorDbWorkload};

@@ -1,0 +1,162 @@
+//! The matrix-multiplication compute benchmark (Figure 18b).
+//!
+//! "Single-precision floating-point matrix calculations for matrices sized
+//! 64 × 64 across 1024 iterations, measuring the number of matrix
+//! calculations per second." On the FPGA this maps to a DSP systolic
+//! pipeline whose throughput scales with the unroll/parallelism factor;
+//! the model computes matrices/second from MAC counts, DSP parallelism and
+//! clock, and the reference implementation actually performs the multiply
+//! so functional tests have ground truth.
+
+use harmonia_sim::Freq;
+
+/// The Figure 18b workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatMulWorkload {
+    n: usize,
+    iterations: u64,
+}
+
+impl MatMulWorkload {
+    /// The paper's configuration: 64 × 64, 1024 iterations.
+    pub fn paper() -> Self {
+        MatMulWorkload {
+            n: 64,
+            iterations: 1024,
+        }
+    }
+
+    /// Creates a workload of `n × n` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `iterations` is zero.
+    pub fn new(n: usize, iterations: u64) -> Self {
+        assert!(n > 0 && iterations > 0, "degenerate matmul workload");
+        MatMulWorkload { n, iterations }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Iteration count.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Multiply-accumulate operations per matrix product.
+    pub fn macs_per_matrix(&self) -> u64 {
+        (self.n * self.n * self.n) as u64
+    }
+
+    /// Matrices per second on a DSP array with `parallelism` MACs/cycle at
+    /// `clock`, with a pipeline efficiency factor for drain/refill between
+    /// tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn matrices_per_sec(&self, parallelism: u32, clock: Freq) -> f64 {
+        assert!(parallelism > 0, "parallelism must be non-zero");
+        let macs_per_sec = f64::from(parallelism) * clock.hz() as f64;
+        // Tile drain/refill costs a little; deeper unrolls amortize less.
+        let efficiency = 0.93 - 0.005 * f64::from(parallelism.ilog2());
+        macs_per_sec * efficiency / self.macs_per_matrix() as f64
+    }
+
+    /// Wall-clock seconds for the whole workload at the given design point.
+    pub fn duration_secs(&self, parallelism: u32, clock: Freq) -> f64 {
+        self.iterations as f64 / self.matrices_per_sec(parallelism, clock)
+    }
+
+    /// Reference software implementation: `a × b` for `n × n` row-major
+    /// matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are not `n × n`.
+    pub fn multiply(&self, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let n = self.n;
+        assert_eq!(a.len(), n * n, "lhs must be n*n");
+        assert_eq!(b.len(), n * n, "rhs must be n*n");
+        let mut c = vec![0.0f32; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i * n + k];
+                for j in 0..n {
+                    c[i * n + j] += aik * b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let w = MatMulWorkload::paper();
+        assert_eq!(w.n(), 64);
+        assert_eq!(w.iterations(), 1024);
+        assert_eq!(w.macs_per_matrix(), 262_144);
+    }
+
+    #[test]
+    fn throughput_scales_with_parallelism() {
+        let w = MatMulWorkload::paper();
+        let clk = Freq::mhz(300);
+        let x4 = w.matrices_per_sec(4, clk);
+        let x8 = w.matrices_per_sec(8, clk);
+        let x16 = w.matrices_per_sec(16, clk);
+        assert!(x8 > 1.9 * x4 && x8 < 2.0 * x4);
+        assert!(x16 > 1.9 * x8 && x16 < 2.0 * x8);
+        // Order of magnitude sanity: x16 @300 MHz ≈ 16k matrices/s.
+        assert!((15_000.0..20_000.0).contains(&x16), "x16 = {x16:.0}");
+    }
+
+    #[test]
+    fn duration_inverse_of_rate() {
+        let w = MatMulWorkload::paper();
+        let clk = Freq::mhz(300);
+        let d = w.duration_secs(8, clk);
+        assert!((d * w.matrices_per_sec(8, clk) - 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiply_identity() {
+        let w = MatMulWorkload::new(4, 1);
+        let mut ident = vec![0.0f32; 16];
+        for i in 0..4 {
+            ident[i * 4 + i] = 1.0;
+        }
+        let a: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        assert_eq!(w.multiply(&a, &ident), a);
+        assert_eq!(w.multiply(&ident, &a), a);
+    }
+
+    #[test]
+    fn multiply_known_product() {
+        let w = MatMulWorkload::new(2, 1);
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(w.multiply(&a, &b), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn shape_validated() {
+        let w = MatMulWorkload::new(4, 1);
+        let _ = w.multiply(&[0.0; 15], &[0.0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dimension_rejected() {
+        let _ = MatMulWorkload::new(0, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory-trace generation for the DDR/HBM benchmarks.
+
+use harmonia_hw::ip::dram::MemOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The access patterns of Figure 10c.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Consecutive addresses.
+    Sequential,
+    /// Repeated access to a small fixed region.
+    Fixed,
+    /// Uniform random addresses over the footprint.
+    Random,
+}
+
+impl AccessPattern {
+    /// All patterns, in reporting order.
+    pub const ALL: [AccessPattern; 3] = [
+        AccessPattern::Random,
+        AccessPattern::Fixed,
+        AccessPattern::Sequential,
+    ];
+}
+
+impl std::fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Fixed => "fixed",
+            AccessPattern::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Deterministic memory-trace generator.
+///
+/// ```
+/// use harmonia_workloads::{AccessPattern, MemTraceGen};
+/// let ops = MemTraceGen::new(1).trace(AccessPattern::Sequential, false, 64, 100);
+/// assert_eq!(ops.len(), 100);
+/// assert_eq!(ops[1].addr, 64);
+/// ```
+#[derive(Debug)]
+pub struct MemTraceGen {
+    rng: StdRng,
+    /// Total footprint the random pattern spans.
+    footprint_bytes: u64,
+    /// Size of the fixed pattern's hot region.
+    fixed_region_bytes: u64,
+}
+
+impl MemTraceGen {
+    /// Creates a generator over a 4 GiB footprint with a 64 KiB hot region.
+    pub fn new(seed: u64) -> Self {
+        MemTraceGen {
+            rng: StdRng::seed_from_u64(seed),
+            footprint_bytes: 4 << 30,
+            fixed_region_bytes: 64 << 10,
+        }
+    }
+
+    /// Overrides the random-pattern footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "footprint must be non-zero");
+        self.footprint_bytes = bytes;
+        self
+    }
+
+    /// Generates a trace of `count` operations of `op_bytes` each.
+    pub fn trace(
+        &mut self,
+        pattern: AccessPattern,
+        write: bool,
+        op_bytes: u32,
+        count: usize,
+    ) -> Vec<MemOp> {
+        let step = u64::from(op_bytes);
+        (0..count as u64)
+            .map(|i| {
+                let addr = match pattern {
+                    AccessPattern::Sequential => i * step,
+                    AccessPattern::Fixed => (i * step) % self.fixed_region_bytes,
+                    AccessPattern::Random => {
+                        self.rng.gen_range(0..self.footprint_bytes / step) * step
+                    }
+                };
+                if write {
+                    MemOp::write(addr, op_bytes)
+                } else {
+                    MemOp::read(addr, op_bytes)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_strided() {
+        let ops = MemTraceGen::new(1).trace(AccessPattern::Sequential, false, 128, 10);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.addr, i as u64 * 128);
+            assert!(!op.is_write);
+        }
+    }
+
+    #[test]
+    fn fixed_stays_in_region() {
+        let ops = MemTraceGen::new(1).trace(AccessPattern::Fixed, true, 64, 10_000);
+        assert!(ops.iter().all(|o| o.addr < 64 << 10));
+        assert!(ops.iter().all(|o| o.is_write));
+    }
+
+    #[test]
+    fn random_spreads_widely() {
+        let ops = MemTraceGen::new(1).trace(AccessPattern::Random, false, 64, 5_000);
+        let above_1g = ops.iter().filter(|o| o.addr > 1 << 30).count();
+        assert!(above_1g > 1_000, "random trace not spread: {above_1g}");
+        // Aligned to the op size.
+        assert!(ops.iter().all(|o| o.addr % 64 == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MemTraceGen::new(9).trace(AccessPattern::Random, false, 64, 100);
+        let b = MemTraceGen::new(9).trace(AccessPattern::Random, false, 64, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn zero_footprint_rejected() {
+        let _ = MemTraceGen::new(1).with_footprint(0);
+    }
+}

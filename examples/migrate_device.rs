@@ -1,0 +1,57 @@
+//! Portability walkthrough: one role, four heterogeneous devices, zero
+//! role-side changes — and what migration costs under the register
+//! interface vs the command interface.
+//!
+//! ```sh
+//! cargo run --example migrate_device
+//! ```
+
+use harmonia::frameworks::Framework;
+use harmonia::host::migration_report;
+use harmonia::hw::device::catalog;
+use harmonia::{Harmonia, MemoryDemand, RoleSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let role = RoleSpec::builder("portable-nf")
+        .network_gbps(100)
+        .queues(128)
+        .build();
+
+    println!("== one role spec, every device ==");
+    for device in catalog::all() {
+        let d = Harmonia::deploy(&device, &role)?;
+        println!(
+            "{:<10} {:<18} -> {} RBBs, overhead {:.2}%",
+            device.name(),
+            format!("({} {})", device.vendor(), device.part()),
+            d.shell().rbbs().len(),
+            d.overhead_percent()
+        );
+    }
+
+    println!("\n== what the baselines support (Table 3) ==");
+    for device in catalog::all() {
+        let supported: Vec<String> = Framework::ALL
+            .iter()
+            .filter(|f| f.supports(&device))
+            .map(|f| f.to_string())
+            .collect();
+        println!("{:<10} {}", device.name(), supported.join(", "));
+    }
+
+    println!("\n== migration cost C -> D (Figure 13) ==");
+    let on_c = role.clone();
+    let on_d = RoleSpec::builder("portable-nf")
+        .network_gbps(100)
+        .queues(128)
+        .memory(MemoryDemand::Ddr { channels: 1 }) // picks up D's DDR
+        .build();
+    let report = migration_report(&catalog::device_c(), &on_c, &catalog::device_d(), &on_d)?;
+    println!(
+        "register interface: {} modifications\ncommand interface:  {} modifications ({:.0}x reduction)",
+        report.reg_modifications,
+        report.cmd_modifications,
+        report.reduction_factor()
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Embedding retrieval on the look-aside architecture: real top-K over a
+//! synthetic corpus, plus the bandwidth-bound QPS model across corpus
+//! scales (Figure 17d).
+//!
+//! ```sh
+//! cargo run --example retrieval_topk
+//! ```
+
+use harmonia::apps::RetrievalEngine;
+use harmonia::sim::Freq;
+
+fn main() {
+    // A real (materialized) corpus: 50k embeddings of dimension 64.
+    let engine = RetrievalEngine::synthetic(2024, 50_000, 64);
+    let query: Vec<f32> = (0..64).map(|i| (i as f32 * 0.13).sin()).collect();
+
+    let top = engine.top_k(&query, 8);
+    println!("top-8 of {} items:", engine.items());
+    for c in &top {
+        println!("  item {:>6}  score {:+.4}", c.index, c.score);
+    }
+
+    // The accelerator model: scan rate from HBM bandwidth vs compute lanes.
+    let clock = Freq::mhz(450);
+    println!("\ncorpus scaling (per-shard scan, 2048 MAC lanes @ {clock}):");
+    for exp in [4u32, 5, 6, 7, 9] {
+        let items = 10u64.pow(exp);
+        let model = RetrievalEngine::capacity_only(items, 64);
+        let perf = model.sharded_perf(2048, clock, true);
+        println!(
+            "  1e{exp} items: {:>10.1} QPS/shard, {:>9.1} us/query",
+            perf.throughput,
+            perf.latency_us()
+        );
+    }
+}
