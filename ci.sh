@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Offline verification gate for the Harmonia workspace.
+#
+# The workspace is hermetic: everything here must pass with no network and
+# an empty cargo registry. A new dependency that isn't a workspace member
+# fails the --offline builds below, which is the enforcement mechanism for
+# the hermetic build policy (see README.md).
+set -eu
+
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: release build"
+cargo build --release --workspace --offline --locked
+
+echo "==> tier-1: test suite"
+cargo test -q --workspace --offline --locked
+
+echo "==> benches compile"
+cargo bench --no-run --workspace --offline --locked
+
+echo "==> ci.sh: all gates passed"

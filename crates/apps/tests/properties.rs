@@ -6,7 +6,7 @@ use harmonia_apps::l4lb::{Backend, Layer4Lb};
 use harmonia_apps::retrieval::RetrievalEngine;
 use harmonia_apps::sec_gateway::{AclRule, Action, SecGateway};
 use harmonia_shell::rbb::network::PacketMeta;
-use proptest::prelude::*;
+use harmonia_testkit::prelude::*;
 
 fn arb_pkt() -> impl Strategy<Value = PacketMeta> {
     (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(
@@ -28,7 +28,7 @@ fn arb_rule() -> impl Strategy<Value = AclRule> {
         0u8..=32,
         any::<u32>(),
         0u8..=32,
-        proptest::option::of(any::<u16>()),
+        option::of(any::<u16>()),
         any::<u16>(),
         any::<bool>(),
     )
@@ -42,12 +42,12 @@ fn arb_rule() -> impl Strategy<Value = AclRule> {
         })
 }
 
-proptest! {
+forall! {
     /// The gateway's verdict equals the lowest-priority matching rule's
     /// action (reference implementation), or the default.
     #[test]
     fn acl_first_match_semantics(
-        rules in proptest::collection::vec(arb_rule(), 0..40),
+        rules in collection::vec(arb_rule(), 0..40),
         pkt in arb_pkt(),
     ) {
         let mut gw = SecGateway::new(Action::Allow);
@@ -70,7 +70,7 @@ proptest! {
     /// remaps an established flow.
     #[test]
     fn lb_stickiness_under_churn(
-        ports in proptest::collection::vec(any::<u16>(), 1..200),
+        ports in collection::vec(any::<u16>(), 1..200),
         remove in 0u16..8,
     ) {
         let mut lb = Layer4Lb::new(
@@ -108,7 +108,7 @@ proptest! {
     /// single bit always invalidates.
     #[test]
     fn checksum_validates_and_detects(
-        mut data in proptest::collection::vec(any::<u8>(), 1..256),
+        mut data in collection::vec(any::<u8>(), 1..256),
         bit in any::<usize>(),
     ) {
         if data.len() % 2 == 1 {
@@ -125,7 +125,7 @@ proptest! {
 
     /// The LZ codec round-trips arbitrary byte strings exactly.
     #[test]
-    fn lz_codec_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    fn lz_codec_round_trip(data in collection::vec(any::<u8>(), 0..4096)) {
         let mut eng = StorageOffload::new();
         let packed = eng.compress(&data);
         let unpacked = eng.decompress(&packed).expect("own output decodes");

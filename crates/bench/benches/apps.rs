@@ -1,6 +1,7 @@
-//! Criterion benches for the application role logic (Figure 17's kernels).
+//! Micro-benches (harmonia-testkit harness) for the application role logic (Figure 17's kernels).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use harmonia_testkit::bench::{Criterion, Throughput, black_box};
+use harmonia_testkit::{bench_group, bench_main};
 use harmonia::apps::common::to_packet_meta;
 use harmonia::apps::host_network::internet_checksum;
 use harmonia::apps::l4lb::Backend;
@@ -127,7 +128,7 @@ fn bench_compression(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_sec_gateway,
     bench_l4lb,
@@ -136,4 +137,4 @@ criterion_group!(
     bench_matmul,
     bench_compression
 );
-criterion_main!(benches);
+bench_main!(benches);

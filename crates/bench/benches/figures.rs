@@ -1,8 +1,9 @@
-//! Criterion timing of the figure generators themselves — one bench per
+//! Micro-bench timing of the figure generators themselves — one bench per
 //! paper table/figure family, so `cargo bench` regenerates every artifact
 //! under measurement.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmonia_testkit::bench::{Criterion, black_box};
+use harmonia_testkit::{bench_group, bench_main};
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
@@ -46,5 +47,5 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+bench_group!(benches, bench_figures);
+bench_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion benches for the command interface: packet codec and unified
+//! Micro-benches (harmonia-testkit harness) for the command interface: packet codec and unified
 //! control kernel execution (the Figure 13 / Table 4 machinery).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use harmonia_testkit::bench::{Criterion, Throughput, black_box};
+use harmonia_testkit::{bench_group, bench_main};
 use harmonia::cmd::{CommandCode, CommandPacket, SrcId, UnifiedControlKernel};
 use harmonia::host::reg_driver::RegisterDriver;
 use harmonia::hw::device::catalog;
@@ -79,5 +80,5 @@ fn bench_reg_scripts(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_kernel, bench_reg_scripts);
-criterion_main!(benches);
+bench_group!(benches, bench_codec, bench_kernel, bench_reg_scripts);
+bench_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion benches for the Reusable Building Blocks: packet filtering +
+//! Micro-benches (harmonia-testkit harness) for the Reusable Building Blocks: packet filtering +
 //! flow direction, queue scheduling, and the memory system with its
 //! ex-functions on and off (the ablation's timing side).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use harmonia_testkit::bench::{BenchmarkId, Criterion, Throughput, black_box};
+use harmonia_testkit::{bench_group, bench_main};
 use harmonia::apps::common::to_packet_meta;
 use harmonia::hw::Vendor;
 use harmonia::shell::rbb::{HostRbb, MemoryRbb, NetworkRbb};
@@ -99,11 +100,11 @@ fn bench_rdma(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_network_rbb,
     bench_host_rbb,
     bench_memory_rbb,
     bench_rdma
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion benches for the platform-specific layer: width conversion,
+//! Micro-benches (harmonia-testkit harness) for the platform-specific layer: width conversion,
 //! clock-domain crossing and the vendor IP timing models (Figure 10's
 //! machinery).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use harmonia_testkit::bench::{Criterion, Throughput, black_box};
+use harmonia_testkit::{bench_group, bench_main};
 use harmonia::hw::ip::{DdrIp, MacIp, PcieDmaIp};
 use harmonia::hw::Vendor;
 use harmonia::platform::WidthConverter;
@@ -79,5 +80,5 @@ fn bench_ip_models(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_width_converter, bench_cdc, bench_ip_models);
-criterion_main!(benches);
+bench_group!(benches, bench_width_converter, bench_cdc, bench_ip_models);
+bench_main!(benches);

@@ -3,7 +3,7 @@
 //! Every table and figure of the paper's evaluation section has a
 //! generator here returning [`Table`](harmonia::metrics::Table)s with the
 //! same rows/series the paper reports. The `fig*`/`table*` binaries print
-//! them; `paper` prints everything; the Criterion benches under `benches/`
+//! them; `paper` prints everything; the testkit benches under `benches/`
 //! time the underlying simulations.
 
 pub mod ablation;

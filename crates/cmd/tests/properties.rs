@@ -2,7 +2,7 @@
 //! must survive arbitrary field values and detect arbitrary corruption.
 
 use harmonia_cmd::{CommandCode, CommandPacket, SrcId};
-use proptest::prelude::*;
+use harmonia_testkit::prelude::*;
 
 fn arb_src() -> impl Strategy<Value = SrcId> {
     prop_oneof![
@@ -19,7 +19,7 @@ fn arb_packet() -> impl Strategy<Value = CommandPacket> {
         any::<u8>(),
         any::<u16>(),
         any::<u32>(),
-        proptest::collection::vec(any::<u32>(), 0..64),
+        collection::vec(any::<u32>(), 0..64),
     )
         .prop_map(|(src, rbb, inst, code, options, data)| {
             CommandPacket::new(src, rbb, inst, CommandCode::from_u16(code))
@@ -28,7 +28,7 @@ fn arb_packet() -> impl Strategy<Value = CommandPacket> {
         })
 }
 
-proptest! {
+forall! {
     /// Encode → decode is the identity for every well-formed packet.
     #[test]
     fn codec_round_trip(p in arb_packet()) {
@@ -39,7 +39,7 @@ proptest! {
 
     /// Responses are themselves valid packets that carry routing back.
     #[test]
-    fn response_round_trip(p in arb_packet(), data in proptest::collection::vec(any::<u32>(), 0..16)) {
+    fn response_round_trip(p in arb_packet(), data in collection::vec(any::<u32>(), 0..16)) {
         let r = p.response(data.clone());
         prop_assert_eq!(r.dst, p.src.to_u8());
         prop_assert_eq!(&r.data, &data);

@@ -3,7 +3,7 @@
 use harmonia_hw::ip::dram::{DramModel, DramTiming, MemOp};
 use harmonia_hw::regfile::{script_diff, RegOp};
 use harmonia_hw::resource::ResourceUsage;
-use proptest::prelude::*;
+use harmonia_testkit::prelude::*;
 
 fn arb_regop() -> impl Strategy<Value = RegOp> {
     prop_oneof![
@@ -17,13 +17,13 @@ fn arb_regop() -> impl Strategy<Value = RegOp> {
     ]
 }
 
-proptest! {
+forall! {
     /// script_diff is a metric-like distance: identity, symmetry, and
     /// bounded by the sum of lengths.
     #[test]
     fn script_diff_is_distance_like(
-        a in proptest::collection::vec(arb_regop(), 0..40),
-        b in proptest::collection::vec(arb_regop(), 0..40),
+        a in collection::vec(arb_regop(), 0..40),
+        b in collection::vec(arb_regop(), 0..40),
     ) {
         prop_assert_eq!(script_diff(&a, &a), 0);
         prop_assert_eq!(script_diff(&a, &b), script_diff(&b, &a));
@@ -35,7 +35,7 @@ proptest! {
     /// Appending one op to a script changes the diff by exactly one.
     #[test]
     fn script_diff_single_insertion(
-        a in proptest::collection::vec(arb_regop(), 0..40),
+        a in collection::vec(arb_regop(), 0..40),
         op in arb_regop(),
     ) {
         let mut b = a.clone();

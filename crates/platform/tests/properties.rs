@@ -3,20 +3,20 @@
 use harmonia_platform::adapter::vendor::Version;
 use harmonia_platform::WidthConverter;
 use harmonia_sim::stream::packet_to_beats;
-use proptest::prelude::*;
+use harmonia_testkit::prelude::*;
 
 fn arb_width() -> impl Strategy<Value = u32> {
     prop_oneof![Just(64u32), Just(128), Just(256), Just(512), Just(1024), Just(2048)]
 }
 
-proptest! {
+forall! {
     /// The width converter conserves bytes and packet boundaries for any
     /// packet mix and any width pair.
     #[test]
     fn converter_conserves_bytes_and_boundaries(
         inw in arb_width(),
         outw in arb_width(),
-        pkts in proptest::collection::vec(1u32..4000, 1..20),
+        pkts in collection::vec(1u32..4000, 1..20),
     ) {
         let mut conv = WidthConverter::new(inw, outw);
         let mut out = Vec::new();

@@ -6,7 +6,7 @@ use harmonia_shell::rbb::network::{FlowKey, PacketMeta, RxDecision};
 use harmonia_shell::rbb::rdma::{QueuePair, RdmaConfig};
 use harmonia_shell::rbb::{HostRbb, NetworkRbb};
 use harmonia_sim::{Freq, SplitMix64};
-use proptest::prelude::*;
+use harmonia_testkit::prelude::*;
 
 fn arb_packet() -> impl Strategy<Value = PacketMeta> {
     (
@@ -31,12 +31,12 @@ fn arb_packet() -> impl Strategy<Value = PacketMeta> {
         )
 }
 
-proptest! {
+forall! {
     /// The flow director is deterministic and always lands in range; with
     /// the filter disabled every packet is delivered.
     #[test]
     fn director_deterministic_in_range(
-        pkts in proptest::collection::vec(arb_packet(), 1..100),
+        pkts in collection::vec(arb_packet(), 1..100),
         queues in 1u16..512,
     ) {
         let mut rbb = NetworkRbb::with_speed(Vendor::Xilinx, 100, queues);
@@ -80,7 +80,7 @@ proptest! {
     /// or still buffered; per-queue stats add up.
     #[test]
     fn host_queue_conservation(
-        ops in proptest::collection::vec((0u16..32, 1u32..2000, any::<bool>()), 1..300),
+        ops in collection::vec((0u16..32, 1u32..2000, any::<bool>()), 1..300),
     ) {
         let mut h = HostRbb::with_link(Vendor::Xilinx, 4, 8);
         for q in 0..32 {
@@ -126,7 +126,7 @@ proptest! {
     fn rdma_delivery_invariant(
         seed in any::<u64>(),
         loss_pct in 0u32..45,
-        msgs in proptest::collection::vec(1u32..20_000, 1..20),
+        msgs in collection::vec(1u32..20_000, 1..20),
     ) {
         let mut qp = QueuePair::new(RdmaConfig {
             mtu: 1024,

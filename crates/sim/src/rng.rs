@@ -1,8 +1,10 @@
 //! A tiny deterministic PRNG for simulation-internal jitter.
 //!
-//! Workload generation uses the `rand` crate; this SplitMix64 exists so the
-//! simulation kernel itself stays dependency-free while still being able to
-//! model nondeterministic-looking (but reproducible) arrival jitter.
+//! This SplitMix64 is the workspace's single source of randomness: the
+//! simulation kernel uses it directly for nondeterministic-looking (but
+//! reproducible) arrival jitter, and `harmonia-testkit` builds its
+//! distribution helpers (`DetRng`) and property-test case generation on
+//! top of it, keeping the whole tree free of external RNG dependencies.
 
 /// SplitMix64 pseudo-random generator.
 ///

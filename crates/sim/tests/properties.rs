@@ -2,9 +2,9 @@
 
 use harmonia_sim::async_fifo::{bin_to_gray, gray_to_bin};
 use harmonia_sim::{AsyncFifo, ClockDomain, Freq, MultiClock, Pipeline, SyncFifo};
-use proptest::prelude::*;
+use harmonia_testkit::prelude::*;
 
-proptest! {
+forall! {
     /// Gray coding is a bijection on u64.
     #[test]
     fn gray_bijection(v in any::<u64>()) {
@@ -21,7 +21,7 @@ proptest! {
 
     /// A sync FIFO delivers exactly the accepted items, in order.
     #[test]
-    fn sync_fifo_order(cap in 1usize..32, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+    fn sync_fifo_order(cap in 1usize..32, ops in collection::vec(any::<bool>(), 0..200)) {
         let mut f = SyncFifo::new(cap);
         let mut next = 0u32;
         let mut accepted = Vec::new();
@@ -108,7 +108,7 @@ proptest! {
 
     /// Pipelines preserve order and exact latency under random gaps.
     #[test]
-    fn pipeline_latency_exact(lat in 0u64..16, gaps in proptest::collection::vec(1u64..5, 1..100)) {
+    fn pipeline_latency_exact(lat in 0u64..16, gaps in collection::vec(1u64..5, 1..100)) {
         let mut p = Pipeline::new(lat);
         let mut cycle = 0u64;
         let mut pushed = Vec::new();

@@ -1,0 +1,50 @@
+//! # harmonia-testkit
+//!
+//! The hermetic, first-party test substrate for the Harmonia workspace.
+//! Everything the repo needs to verify itself — property-based testing,
+//! deterministic random distributions, and micro-benchmarking — lives
+//! here, with **zero external dependencies**, so
+//! `cargo build --release && cargo test -q` and `cargo bench` run with
+//! an empty crates.io registry.
+//!
+//! Three pieces:
+//!
+//! - **Property testing** ([`forall!`], [`strategy`], [`runner`],
+//!   [`shrink`]): seeded case generation with integrated shrinking.
+//!   Every strategy draws through a recorded tape ([`source`]); a
+//!   failure shrinks the *tape*, not the value, so `prop_map` and
+//!   `prop_oneof!` shrink for free. Minimal counterexamples persist to
+//!   `tests/regressions/<property>.tape` and replay before fresh cases.
+//! - **Deterministic RNG** ([`rng::DetRng`]): uniform/range/choice/
+//!   shuffle/weighted distributions on [`harmonia_sim::SplitMix64`],
+//!   replacing the `rand` crate in the workload generators.
+//! - **Micro-benchmarks** ([`bench`]): warmup + calibrated timed batches
+//!   with median/p99, `BENCH_<group>.json` artifacts, and
+//!   [`bench_group!`]/[`bench_main!`] for `harness = false` targets.
+//!
+//! Environment knobs: `TESTKIT_CASES`, `TESTKIT_SEED`,
+//! `TESTKIT_SHRINK_BUDGET`, `TESTKIT_PERSIST`, `TESTKIT_BENCH_DIR`.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+mod macros;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+pub mod source;
+pub mod strategy;
+
+pub use rng::DetRng;
+pub use source::DataSource;
+
+/// One-stop imports for property-test files.
+///
+/// ```
+/// use harmonia_testkit::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::strategy::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{collection, option, BoxedStrategy, Just, Strategy, StrategyExt, Union};
+    pub use crate::{forall, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof};
+}

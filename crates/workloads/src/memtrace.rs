@@ -1,8 +1,7 @@
 //! Memory-trace generation for the DDR/HBM benchmarks.
 
 use harmonia_hw::ip::dram::MemOp;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use harmonia_testkit::DetRng;
 
 /// The access patterns of Figure 10c.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -45,7 +44,7 @@ impl std::fmt::Display for AccessPattern {
 /// ```
 #[derive(Debug)]
 pub struct MemTraceGen {
-    rng: StdRng,
+    rng: DetRng,
     /// Total footprint the random pattern spans.
     footprint_bytes: u64,
     /// Size of the fixed pattern's hot region.
@@ -56,7 +55,7 @@ impl MemTraceGen {
     /// Creates a generator over a 4 GiB footprint with a 64 KiB hot region.
     pub fn new(seed: u64) -> Self {
         MemTraceGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::new(seed),
             footprint_bytes: 4 << 30,
             fixed_region_bytes: 64 << 10,
         }

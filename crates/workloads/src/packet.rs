@@ -1,7 +1,6 @@
 //! Packet-stream generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use harmonia_testkit::DetRng;
 
 /// A generated packet: header fields plus frame size.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -33,7 +32,7 @@ pub struct WorkloadPacket {
 /// ```
 #[derive(Debug)]
 pub struct PacketGen {
-    rng: StdRng,
+    rng: DetRng,
     local_mac: u64,
     flows: u32,
 }
@@ -42,7 +41,7 @@ impl PacketGen {
     /// Creates a generator targeting `local_mac` with 256 active flows.
     pub fn new(seed: u64, local_mac: u64) -> Self {
         PacketGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::new(seed),
             local_mac,
             flows: 256,
         }
@@ -81,7 +80,7 @@ impl PacketGen {
     pub fn imix(&mut self, count: usize) -> Vec<WorkloadPacket> {
         (0..count)
             .map(|_| {
-                let r = self.rng.gen_range(0..12);
+                let r = self.rng.gen_range(0u32..12);
                 let bytes = if r < 7 {
                     64
                 } else if r < 11 {

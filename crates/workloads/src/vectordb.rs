@@ -8,8 +8,7 @@
 //! designed to expose.
 
 use harmonia_hw::ip::dram::MemOp;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use harmonia_testkit::DetRng;
 
 /// The access modes of Figure 18c.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -41,7 +40,7 @@ impl std::fmt::Display for AccessMode {
 /// The vector-database workload.
 #[derive(Debug)]
 pub struct VectorDbWorkload {
-    rng: StdRng,
+    rng: DetRng,
     /// Number of vectors in the database.
     vectors: u64,
     /// Bytes fetched per vector access (one DRAM burst).
@@ -59,7 +58,7 @@ impl VectorDbWorkload {
     pub fn new(seed: u64, vectors: u64) -> Self {
         assert!(vectors > 0, "empty database");
         VectorDbWorkload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::new(seed),
             vectors,
             access_bytes: 64,
             hot_vectors: 1024.min(vectors),
