@@ -14,10 +14,17 @@ export CARGO_NET_OFFLINE=true
 echo "==> tier-1: release build"
 cargo build --release --workspace --offline --locked
 
-echo "==> tier-1: test suite"
+echo "==> tier-1: test suite (serial execution layer)"
+HARMONIA_THREADS=1 cargo test -q --workspace --offline --locked
+
+echo "==> tier-1: test suite (default parallelism)"
 cargo test -q --workspace --offline --locked
 
 echo "==> benches compile"
 cargo bench --no-run --workspace --offline --locked
+
+echo "==> paper bench (smoke): serial vs parallel sweep"
+TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench paper
+cp target/testkit-bench/BENCH_paper.json .
 
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,42 @@
+//! Serial vs parallel timing of the full paper regeneration.
+//!
+//! Measures `all_tables()` (every figure/table generator) with the worker
+//! pool pinned to one thread and with the hardware default, so the
+//! committed `BENCH_paper.json` records what the execution layer buys on
+//! the build machine. `TESTKIT_BENCH_SMOKE=1` trims sampling for CI.
+
+use harmonia_testkit::bench::{black_box, Criterion};
+use harmonia_testkit::{bench_group, bench_main};
+
+fn with_threads<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let prior = std::env::var(harmonia::sim::exec::THREADS_ENV).ok();
+    match value {
+        Some(v) => std::env::set_var(harmonia::sim::exec::THREADS_ENV, v),
+        None => std::env::remove_var(harmonia::sim::exec::THREADS_ENV),
+    }
+    let out = f();
+    match prior {
+        Some(v) => std::env::set_var(harmonia::sim::exec::THREADS_ENV, v),
+        None => std::env::remove_var(harmonia::sim::exec::THREADS_ENV),
+    }
+    out
+}
+
+fn bench_paper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("full_sweep_serial", |b| {
+        with_threads(Some("1"), || {
+            b.iter(|| black_box(harmonia_bench::all_tables().len()))
+        })
+    });
+    g.bench_function("full_sweep_parallel", |b| {
+        with_threads(None, || {
+            b.iter(|| black_box(harmonia_bench::all_tables().len()))
+        })
+    });
+    g.finish();
+}
+
+bench_group!(benches, bench_paper);
+bench_main!(benches);

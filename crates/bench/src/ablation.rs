@@ -12,6 +12,7 @@ use harmonia::hw::Vendor;
 use harmonia::metrics::report::fmt_f64;
 use harmonia::metrics::Table;
 use harmonia::shell::rbb::{HostRbb, MemoryRbb};
+use harmonia::sim::exec::par_sweep;
 use harmonia::workloads::{AccessPattern, MemTraceGen};
 
 /// Ablation 1: pipelined wrapper vs a store-and-forward converter that
@@ -22,7 +23,7 @@ pub fn ablation_wrapper() -> Table {
         &["pkt (B)", "pipelined", "store-and-forward"],
     );
     let mac = MacIp::new(Vendor::Xilinx, 100);
-    for size in [64u32, 256, 1024] {
+    let rows = par_sweep([64u32, 256, 1024], |size| {
         let pipelined = mac.throughput_gbps(size);
         // Store-and-forward: the converter holds each packet for its full
         // serialization before forwarding, halving effective occupancy on
@@ -30,11 +31,10 @@ pub fn ablation_wrapper() -> Table {
         // buffer drain, not the convert stage).
         let beats = f64::from(size.div_ceil(64));
         let saf = pipelined * beats / (beats + f64::from(size.div_ceil(64)));
-        t.row([
-            size.to_string(),
-            fmt_f64(pipelined, 2),
-            fmt_f64(saf, 2),
-        ]);
+        [size.to_string(), fmt_f64(pipelined, 2), fmt_f64(saf, 2)]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -45,11 +45,12 @@ pub fn ablation_memory() -> Table {
         "Ablation — Memory RBB ex-functions (DDR4 x2, GB/s)",
         &["pattern", "both on", "no cache", "no interleave", "neither"],
     );
-    for (label, pattern) in [
+    let cases = [
         ("sequential", AccessPattern::Sequential),
         ("fixed", AccessPattern::Fixed),
         ("random", AccessPattern::Random),
-    ] {
+    ];
+    let rows = par_sweep(cases, |(label, pattern)| {
         let mut row = vec![label.to_string()];
         for (cache, interleave) in [(true, true), (false, true), (true, false), (false, false)] {
             let mut mem = MemoryRbb::ddr(Vendor::Xilinx, 4, 2);
@@ -59,7 +60,10 @@ pub fn ablation_memory() -> Table {
             let r = mem.run_trace(ops);
             row.push(fmt_f64(r.bandwidth_gbs(), 1));
         }
-        t.row(row);
+        row
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -70,7 +74,7 @@ pub fn ablation_scheduler() -> Table {
         "Ablation — Host RBB queue scheduling (slots examined / dequeue)",
         &["active queues", "active-ring", "naive scan"],
     );
-    for active in [2u16, 16, 128] {
+    let rows = par_sweep([2u16, 16, 128], |active| {
         let mut fast = HostRbb::with_link(Vendor::Xilinx, 4, 8);
         let mut slow = HostRbb::with_link(Vendor::Xilinx, 4, 8);
         for h in [&mut fast, &mut slow] {
@@ -90,11 +94,14 @@ pub fn ablation_scheduler() -> Table {
         while slow.schedule_naive().is_some() {
             deq_slow += 1;
         }
-        t.row([
+        [
             active.to_string(),
             fmt_f64(fast.sched_visits() as f64 / deq_fast as f64, 2),
             fmt_f64(slow.sched_visits() as f64 / deq_slow as f64, 2),
-        ]);
+        ]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -106,17 +113,20 @@ pub fn ablation_ctrl_isolation() -> Table {
         "Ablation — control-queue isolation (command latency, us)",
         &["data backlog (MB)", "isolated", "shared queue"],
     );
-    for backlog_mb in [0u64, 10, 100] {
+    let rows = par_sweep([0u64, 10, 100], |backlog_mb| {
         let mut iso = DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, 4, 8));
         let mut shared = DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, 4, 8));
         shared.set_ctrl_isolated(false);
         iso.enqueue_data(backlog_mb * 1_000_000);
         shared.enqueue_data(backlog_mb * 1_000_000);
-        t.row([
+        [
             backlog_mb.to_string(),
             fmt_f64(iso.command_latency_ps(64) as f64 / 1e6, 2),
             fmt_f64(shared.command_latency_ps(64) as f64 / 1e6, 2),
-        ]);
+        ]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -127,6 +137,8 @@ pub fn ablation_hot_cache_hits() -> Table {
         "Ablation — hot cache on a 512 KiB working set (GB/s)",
         &["pass", "cache on", "cache off"],
     );
+    // Deliberately serial: the cache warms across passes, so each row
+    // depends on the previous one — a `par_sweep` here would be wrong.
     let mut on = MemoryRbb::ddr(Vendor::Xilinx, 4, 2);
     let mut off = MemoryRbb::ddr(Vendor::Xilinx, 4, 2);
     off.set_cache(false);
@@ -153,15 +165,18 @@ pub fn ablation_datapath_sim() -> Table {
         &["pkt (B)", "analytic (Gbps)", "simulated (Gbps)", "sim latency (ns)"],
     );
     let mac = || MacIp::new(Vendor::Xilinx, 100);
-    for size in [64u32, 256, 1024] {
+    let rows = par_sweep([64u32, 256, 1024], |size| {
         let sim = DatapathSim::new(mac(), Freq::khz(322_265), 512);
         let report = sim.run(size, 1_500);
-        t.row([
+        [
             size.to_string(),
             fmt_f64(mac().throughput_gbps(size), 2),
             fmt_f64(report.throughput.gbps(), 2),
             fmt_f64(report.latency.mean_ns(), 1),
-        ]);
+        ]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -175,7 +190,7 @@ pub fn ablation_rdma_window() -> Table {
         "Ablation — RDMA window vs loss (goodput efficiency)",
         &["window", "loss 0%", "loss 1%", "loss 10%"],
     );
-    for window in [8usize, 32, 128] {
+    let rows = par_sweep([8usize, 32, 128], |window| {
         let mut row = vec![window.to_string()];
         for loss in [0.0, 0.01, 0.10] {
             let mut qp = QueuePair::new(RdmaConfig {
@@ -191,7 +206,10 @@ pub fn ablation_rdma_window() -> Table {
                 .expect("completes");
             row.push(fmt_f64(qp.stats().efficiency(), 3));
         }
-        t.row(row);
+        row
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }

@@ -1,17 +1,8 @@
 //! Regenerates every table and figure of the evaluation in one run.
+//!
+//! Independent artifacts are generated concurrently (see
+//! `harmonia::sim::exec`); set `HARMONIA_THREADS=1` for the exact serial
+//! path. Output is byte-identical at any thread count.
 fn main() {
-    let mut all = Vec::new();
-    all.extend(harmonia_bench::fig03::generate());
-    all.extend(harmonia_bench::fig10::generate());
-    all.extend(harmonia_bench::fig11::generate());
-    all.extend(harmonia_bench::fig12::generate());
-    all.extend(harmonia_bench::fig13::generate());
-    all.extend(harmonia_bench::fig14::generate());
-    all.extend(harmonia_bench::fig15::generate());
-    all.extend(harmonia_bench::fig16::generate());
-    all.extend(harmonia_bench::fig17::generate());
-    all.extend(harmonia_bench::fig18::generate());
-    all.extend(harmonia_bench::tables::generate());
-    all.extend(harmonia_bench::ablation::generate());
-    harmonia_bench::print_all(&all);
+    harmonia_bench::print_all(&harmonia_bench::all_tables());
 }

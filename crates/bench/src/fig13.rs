@@ -11,6 +11,7 @@ use harmonia::hw::device::catalog;
 use harmonia::metrics::report::fmt_x;
 use harmonia::metrics::Table;
 use harmonia::shell::{MemoryDemand, RoleSpec};
+use harmonia::sim::exec::par_sweep;
 
 /// `(name, role on C, role on D)` per application.
 pub fn migration_roles() -> Vec<(&'static str, RoleSpec, RoleSpec)> {
@@ -48,14 +49,17 @@ pub fn fig13() -> Table {
         "Figure 13 — software modifications migrating C → D",
         &["application", "register mods", "command mods", "reduction"],
     );
-    for (name, on_c, on_d) in migration_roles() {
+    let rows = par_sweep(migration_roles(), |(name, on_c, on_d)| {
         let r = migration_report(&c, &on_c, &d, &on_d).expect("roles deploy on C and D");
-        t.row([
+        [
             name.to_string(),
             r.reg_modifications.to_string(),
             r.cmd_modifications.to_string(),
             fmt_x(r.reduction_factor()),
-        ]);
+        ]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }

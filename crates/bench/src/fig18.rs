@@ -7,6 +7,7 @@ use harmonia::metrics::report::{fmt_f64, fmt_pct};
 use harmonia::metrics::Table;
 use harmonia::shell::rbb::MemoryRbb;
 use harmonia::shell::{MemoryDemand, RoleSpec};
+use harmonia::sim::exec::par_sweep;
 use harmonia::workloads::{AccessMode, MatMulWorkload, TcpWorkload, VectorDbWorkload};
 
 fn bench_role() -> RoleSpec {
@@ -24,7 +25,7 @@ pub fn fig18a() -> Table {
         &["framework", "device", "LUT", "REG", "BRAM"],
     );
     let role = bench_role();
-    for f in Framework::ALL {
+    let rows = par_sweep(Framework::ALL, |f| {
         let device = match f {
             Framework::OneApi => catalog::device_d(),
             _ => catalog::device_a(),
@@ -32,13 +33,16 @@ pub fn fig18a() -> Table {
         let usage = baseline_shell_resources(f, &device, &role)
             .expect("role deploys")
             .expect("framework supports its own device");
-        t.row([
+        [
             f.to_string(),
             device.name().to_string(),
             fmt_pct(usage.percent_of(device.capacity(), ResourceKind::Lut)),
             fmt_pct(usage.percent_of(device.capacity(), ResourceKind::Reg)),
             fmt_pct(usage.percent_of(device.capacity(), ResourceKind::Bram)),
-        ]);
+        ]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -50,13 +54,16 @@ pub fn fig18b() -> Table {
         &["parallelism", "Vitis", "oneAPI", "Coyote", "Harmonia"],
     );
     let w = MatMulWorkload::paper();
-    for p in [4u32, 8, 16] {
+    let rows = par_sweep([4u32, 8, 16], |p| {
         let mut row = vec![format!("x{p}")];
         for f in Framework::ALL {
             let pf = PerfFactors::of(f);
             row.push(fmt_f64(pf.throughput(w.matrices_per_sec(p, pf.kernel_clock)), 0));
         }
-        t.row(row);
+        row
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -67,7 +74,7 @@ pub fn fig18c() -> Table {
         "Figure 18c — database access (Mvec/s)",
         &["mode", "Vitis", "oneAPI", "Coyote", "Harmonia"],
     );
-    for mode in AccessMode::ALL {
+    let rows = par_sweep(AccessMode::ALL, |mode| {
         let mut row = vec![mode.to_string()];
         for f in Framework::ALL {
             // Every framework drives the same DDR4 memory system. The
@@ -84,7 +91,10 @@ pub fn fig18c() -> Table {
             let pf = PerfFactors::of(f);
             row.push(fmt_f64(pf.throughput(r.ops_per_sec(n)) / 1e6, 1));
         }
-        t.row(row);
+        row
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -102,7 +112,7 @@ pub fn fig18d() -> Table {
         ],
     );
     let w = TcpWorkload::paper();
-    for size in TcpWorkload::PACKET_SIZES {
+    let rows = par_sweep(TcpWorkload::PACKET_SIZES, |size| {
         let mut row = vec![size.to_string()];
         for f in Framework::ALL {
             let pf = PerfFactors::of(f);
@@ -110,7 +120,10 @@ pub fn fig18d() -> Table {
             let lat = pf.latency_ps(w.latency_ps(size)) as f64 / 1e6;
             row.push(format!("{:.1}/{:.1}", tpt, lat));
         }
-        t.row(row);
+        row
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }

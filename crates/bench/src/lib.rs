@@ -19,10 +19,40 @@ pub mod fig17;
 pub mod fig18;
 pub mod tables;
 
+/// Every table of the evaluation, in the paper's order.
+///
+/// Each artifact's generator is independent, so they fan out across the
+/// scoped worker pool ([`harmonia::sim::exec`]); ordered reassembly keeps
+/// the output byte-identical to running the generators one by one.
+pub fn all_tables() -> Vec<harmonia::metrics::Table> {
+    type Generator = fn() -> Vec<harmonia::metrics::Table>;
+    let generators: Vec<Generator> = vec![
+        fig03::generate,
+        fig10::generate,
+        fig11::generate,
+        fig12::generate,
+        fig13::generate,
+        fig14::generate,
+        fig15::generate,
+        fig16::generate,
+        fig17::generate,
+        fig18::generate,
+        tables::generate,
+        ablation::generate,
+    ];
+    harmonia::sim::exec::par_map(generators, |g| g())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// Prints a list of tables with blank lines between them.
+///
+/// Rendering is a pure per-table job, so it sweeps across the worker
+/// pool; printing stays sequential and in order.
 pub fn print_all(tables: &[harmonia::metrics::Table]) {
-    for t in tables {
-        println!("{t}");
+    for rendered in harmonia::sim::exec::par_sweep(tables, |t| t.to_string()) {
+        println!("{rendered}");
     }
 }
 

@@ -6,6 +6,7 @@ use harmonia::hw::device::catalog;
 use harmonia::metrics::Table;
 use harmonia::shell::rbb::RbbKind;
 use harmonia::shell::{MemoryDemand, RoleSpec, TailoredShell, UnifiedShell};
+use harmonia::sim::exec::par_sweep;
 
 /// Table 1 — framework capability comparison.
 pub fn table1() -> Table {
@@ -19,15 +20,18 @@ pub fn table1() -> Table {
             "consistent host IF",
         ],
     );
-    for f in Framework::ALL {
+    let rows = par_sweep(Framework::ALL, |f| {
         let m = CapabilityMatrix::of(f);
-        t.row([
+        [
             f.to_string(),
             m.heterogeneity.to_string(),
             m.unified_shell.to_string(),
             m.portable_role.to_string(),
             m.consistent_host_if.to_string(),
-        ]);
+        ]
+    });
+    for r in rows {
+        t.row(r);
     }
     t
 }
@@ -44,12 +48,15 @@ pub fn table3() -> Table {
         ("In-house Xilinx-die (B)", catalog::device_b()),
         ("In-house Intel-die (C)", catalog::device_c()),
     ];
-    for (label, device) in rows {
+    let rendered = par_sweep(rows, |(label, device)| {
         let mut row = vec![label.to_string()];
         for f in Framework::ALL {
             row.push(if f.supports(&device) { "yes" } else { "no" }.to_string());
         }
-        t.row(row);
+        row
+    });
+    for r in rendered {
+        t.row(r);
     }
     t
 }

@@ -1,0 +1,116 @@
+//! The execution layer's determinism contract, end to end: every paper
+//! artifact must render byte-identically whether the worker pool runs
+//! serial or wide, and property failures must reproduce the same seed at
+//! any thread count.
+
+use harmonia::sim::exec::THREADS_ENV;
+use harmonia_testkit::runner::{Config, Outcome, Runner, DEFAULT_SHRINK_BUDGET};
+use std::sync::Mutex;
+
+/// Env mutations are process-global; serialize the tests that flip
+/// `HARMONIA_THREADS` so cargo's parallel test runner can't interleave
+/// them.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let prior = std::env::var(THREADS_ENV).ok();
+    match value {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+    let out = f();
+    match prior {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+    out
+}
+
+fn rendered_at(threads: &str, table: impl Fn() -> harmonia::metrics::Table) -> String {
+    with_threads(Some(threads), || table().to_string())
+}
+
+#[test]
+fn fig10a_byte_identical_serial_vs_parallel() {
+    let serial = rendered_at("1", harmonia_bench::fig10::fig10a);
+    let parallel = rendered_at("4", harmonia_bench::fig10::fig10a);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fig17d_byte_identical_serial_vs_parallel() {
+    let serial = rendered_at("1", harmonia_bench::fig17::fig17d);
+    let parallel = rendered_at("4", harmonia_bench::fig17::fig17d);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fig18_byte_identical_serial_vs_parallel() {
+    let render = || {
+        harmonia_bench::fig18::generate()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let serial = with_threads(Some("1"), render);
+    let parallel = with_threads(Some("4"), render);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn full_paper_output_byte_identical_serial_vs_parallel() {
+    let render = || {
+        harmonia_bench::all_tables()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let serial = with_threads(Some("1"), render);
+    let parallel = with_threads(Some("4"), render);
+    assert_eq!(serial, parallel);
+}
+
+/// A property that fails on a slice of the input space, run at several
+/// thread counts: each run must stop on the same failing seed, minimal
+/// counterexample, and shrink tape (no env needed — `Config.threads`
+/// drives the pool directly).
+#[test]
+fn forall_failure_reproduces_identically_at_any_thread_count() {
+    let outcome_at = |threads: usize| {
+        let runner = Runner::new("equivalence_probe").with_config(Config {
+            cases: 64,
+            seed: 0xDEC0DE,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+            persist: false,
+            threads,
+        });
+        let outcome = runner.run_parallel(
+            |src| src.draw_below(10_001),
+            |&v| {
+                if v >= 7_000 {
+                    Err(harmonia_testkit::runner::CaseError::fail("too large"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        match outcome {
+            Outcome::Failed {
+                minimal,
+                tape,
+                seed,
+                error,
+                ..
+            } => (minimal, tape, seed, error),
+            Outcome::Passed { .. } => panic!("probe property must fail"),
+        }
+    };
+    let serial = outcome_at(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, outcome_at(threads), "divergence at {threads} threads");
+    }
+    assert_eq!(serial.0, 7_000, "shrinker should reach the boundary");
+}

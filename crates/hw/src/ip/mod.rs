@@ -77,8 +77,9 @@ impl fmt::Display for IpKind {
 /// Common surface of every vendor IP model.
 ///
 /// This trait is object-safe: RBBs hold `Box<dyn VendorIp>` instances
-/// selected at shell-tailoring time.
-pub trait VendorIp: fmt::Debug {
+/// selected at shell-tailoring time. `Send + Sync` lets shells holding
+/// boxed IPs be shared across the `harmonia_sim::exec` worker pool.
+pub trait VendorIp: fmt::Debug + Send + Sync {
     /// The IP category.
     fn kind(&self) -> IpKind;
 

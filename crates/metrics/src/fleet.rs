@@ -92,43 +92,113 @@ impl FleetModel {
         m
     }
 
-    /// Simulates through `end_year` inclusive.
-    pub fn run(&self, end_year: u32) -> Vec<FleetYear> {
-        (self.start_year..=end_year)
-            .map(|year| {
-                let new_models = self
-                    .introductions
-                    .iter()
-                    .filter(|i| i.year == year)
-                    .count() as u32;
-                let deployed_in = |y: u32| -> u64 {
-                    self.introductions
-                        .iter()
-                        .filter(|i| y >= i.year && y < i.year + i.deploy_years)
-                        .map(|i| u64::from(i.yearly_units))
-                        .sum()
-                };
-                let new_units = deployed_in(year);
-                let oldest_alive = year.saturating_sub(self.lifecycle_years - 1);
-                let total_units: u64 = (oldest_alive..=year).map(deployed_in).sum();
-                let live_models = self
-                    .introductions
-                    .iter()
-                    .filter(|i| {
-                        // Any deployment year within the lifecycle window?
-                        let last_deploy = i.year + i.deploy_years - 1;
-                        last_deploy >= oldest_alive && i.year <= year
-                    })
-                    .count() as u32;
-                FleetYear {
-                    year,
-                    new_models,
-                    new_units,
-                    total_units,
-                    live_models,
-                }
+    /// One simulated year. Pure in `year`, so years can be computed in
+    /// any order — or concurrently.
+    pub fn year(&self, year: u32) -> FleetYear {
+        let new_models = self
+            .introductions
+            .iter()
+            .filter(|i| i.year == year)
+            .count() as u32;
+        let deployed_in = |y: u32| -> u64 {
+            self.introductions
+                .iter()
+                .filter(|i| y >= i.year && y < i.year + i.deploy_years)
+                .map(|i| u64::from(i.yearly_units))
+                .sum()
+        };
+        let new_units = deployed_in(year);
+        let oldest_alive = year.saturating_sub(self.lifecycle_years - 1);
+        let total_units: u64 = (oldest_alive..=year).map(deployed_in).sum();
+        let live_models = self
+            .introductions
+            .iter()
+            .filter(|i| {
+                // Any deployment year within the lifecycle window?
+                let last_deploy = i.year + i.deploy_years - 1;
+                last_deploy >= oldest_alive && i.year <= year
             })
-            .collect()
+            .count() as u32;
+        FleetYear {
+            year,
+            new_models,
+            new_units,
+            total_units,
+            live_models,
+        }
+    }
+
+    /// Simulates through `end_year` inclusive.
+    ///
+    /// Years are independent, so the sweep fans out across the scoped
+    /// worker pool; ordered reassembly keeps the output identical to the
+    /// serial loop at any `HARMONIA_THREADS`.
+    pub fn run(&self, end_year: u32) -> Vec<FleetYear> {
+        harmonia_sim::exec::par_sweep(self.start_year..=end_year, |year| self.year(year))
+    }
+
+    /// Fleet-wide aggregation over the simulated window: a parallel
+    /// map over years reduced with the order-independent
+    /// [`FleetSummary::merge`].
+    pub fn summarize(&self, end_year: u32) -> FleetSummary {
+        harmonia_sim::exec::WorkerPool::from_env()
+            .map_reduce(
+                self.start_year..=end_year,
+                |year| FleetSummary::of(&self.year(year)),
+                FleetSummary::merge,
+            )
+            .unwrap_or_default()
+    }
+}
+
+/// Fleet-wide aggregate of a simulated window (Figure 3c's headline
+/// numbers: how big the fleet peaks and how heterogeneous it gets).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Years aggregated.
+    pub years: u32,
+    /// Largest year-end fleet across the window.
+    pub peak_units: u64,
+    /// Year of `peak_units` (earliest on ties).
+    pub peak_year: u32,
+    /// Sum of year-end unit counts (unit-years of operation).
+    pub unit_years: u64,
+    /// Total units deployed across the window.
+    pub units_deployed: u64,
+    /// Most device models live at once.
+    pub max_live_models: u32,
+}
+
+impl FleetSummary {
+    /// The single-year summary [`FleetModel::summarize`] reduces over.
+    pub fn of(y: &FleetYear) -> Self {
+        FleetSummary {
+            years: 1,
+            peak_units: y.total_units,
+            peak_year: y.year,
+            unit_years: y.total_units,
+            units_deployed: y.new_units,
+            max_live_models: y.live_models,
+        }
+    }
+
+    /// Merges two summaries. Commutative and associative (peak ties
+    /// resolve to the earlier year), so a parallel reduce yields the
+    /// same result in any merge order.
+    pub fn merge(a: Self, b: Self) -> Self {
+        let (peak_units, peak_year) = match (a.peak_units, b.peak_units) {
+            (x, y) if x > y => (a.peak_units, a.peak_year),
+            (x, y) if y > x => (b.peak_units, b.peak_year),
+            _ => (a.peak_units, a.peak_year.min(b.peak_year)),
+        };
+        FleetSummary {
+            years: a.years + b.years,
+            peak_units,
+            peak_year,
+            unit_years: a.unit_years + b.unit_years,
+            units_deployed: a.units_deployed + b.units_deployed,
+            max_live_models: a.max_live_models.max(b.max_live_models),
+        }
     }
 }
 
@@ -207,5 +277,68 @@ mod tests {
     fn display_nonempty() {
         let y = FleetModel::douyin_like().run(2020).pop().unwrap();
         assert!(y.to_string().contains("2020"));
+    }
+
+    #[test]
+    fn summary_matches_serial_fold() {
+        let m = FleetModel::douyin_like();
+        let years = m.run(2024);
+        let serial = years
+            .iter()
+            .map(FleetSummary::of)
+            .fold(FleetSummary::default(), FleetSummary::merge);
+        assert_eq!(m.summarize(2024), serial);
+        assert_eq!(serial.years, years.len() as u32);
+        assert!(serial.peak_units > 10_000);
+        assert_eq!(serial.peak_year, 2024);
+    }
+
+    #[test]
+    fn summary_merge_is_order_independent() {
+        let m = FleetModel::douyin_like();
+        let per_year: Vec<_> = m.run(2024).iter().map(FleetSummary::of).collect();
+        let forward = per_year
+            .iter()
+            .copied()
+            .fold(FleetSummary::default(), FleetSummary::merge);
+        let backward = per_year
+            .iter()
+            .rev()
+            .copied()
+            .fold(FleetSummary::default(), FleetSummary::merge);
+        // Pairwise tree reduce, as a parallel reduce would produce.
+        let mut tree = per_year.clone();
+        while tree.len() > 1 {
+            tree = tree
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        FleetSummary::merge(c[0], c[1])
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward, tree[0]);
+    }
+
+    #[test]
+    fn summary_peak_tie_takes_earlier_year() {
+        let a = FleetSummary {
+            years: 1,
+            peak_units: 500,
+            peak_year: 2021,
+            unit_years: 500,
+            units_deployed: 0,
+            max_live_models: 2,
+        };
+        let b = FleetSummary {
+            peak_year: 2019,
+            ..a
+        };
+        assert_eq!(FleetSummary::merge(a, b).peak_year, 2019);
+        assert_eq!(FleetSummary::merge(b, a).peak_year, 2019);
     }
 }

@@ -168,7 +168,10 @@ pub enum LogicPart {
 }
 
 /// Object-safe surface shared by the three RBBs.
-pub trait Rbb: fmt::Debug {
+///
+/// `Send + Sync` lets shells holding boxed RBBs be swept across the
+/// `harmonia_sim::exec` worker pool.
+pub trait Rbb: fmt::Debug + Send + Sync {
     /// The RBB category.
     fn kind(&self) -> RbbKind;
 

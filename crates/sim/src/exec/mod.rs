@@ -1,0 +1,64 @@
+//! First-party parallel execution: a scoped worker pool and deterministic
+//! fan-out primitives built only on `std::thread` + channels.
+//!
+//! The workspace is hermetic (no external crates, so no `rayon`); this
+//! module is the substitute the evaluation harness, the fleet model and
+//! the testkit property runner share. The contract that makes it safe to
+//! drop into deterministic code paths:
+//!
+//! * **Ordered reassembly** — [`par_map`]/[`par_sweep`]/[`par_tasks`]
+//!   return results in *submission order*, so output is bit-identical to
+//!   the serial run at any worker count.
+//! * **Exact serial path** — a pool with one worker (or
+//!   `HARMONIA_THREADS=1`) runs jobs inline on the calling thread, in
+//!   order, with no channel or spawn in the loop. Tests assert
+//!   serial/parallel equivalence against this path.
+//! * **Deterministic panic propagation** — if several jobs panic, the
+//!   panic of the lowest-index job is the one re-raised on the caller,
+//!   matching what the serial run would have hit first.
+//!
+//! Worker count resolution: the `HARMONIA_THREADS` environment variable
+//! (clamped to ≥ 1) overrides [`std::thread::available_parallelism`].
+
+pub mod pool;
+pub mod scope;
+pub mod sweep;
+
+pub use pool::WorkerPool;
+pub use scope::{job, Job};
+pub use sweep::{par_map, par_sweep, par_tasks};
+
+/// Environment variable overriding the worker count (`1` = exact serial).
+pub const THREADS_ENV: &str = "HARMONIA_THREADS";
+
+/// Resolves the worker count: `HARMONIA_THREADS` if set to a positive
+/// integer, otherwise the machine's available parallelism.
+///
+/// Re-read on every call (it is one `getenv` + parse), so tests can flip
+/// the override between sweeps.
+pub fn threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hardware_threads(),
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+        assert!(hardware_threads() >= 1);
+    }
+}

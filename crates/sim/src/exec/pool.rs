@@ -1,0 +1,152 @@
+//! The scoped worker pool: a worker count plus ordered fan-out methods.
+//!
+//! A [`WorkerPool`] is just a resolved thread count — workers are scoped
+//! to each call, so the pool is `Copy`, costs nothing to hold, and never
+//! leaks threads. Sizing comes from [`crate::exec::threads`] (the
+//! `HARMONIA_THREADS` override, else available parallelism) or an
+//! explicit count for tests that pin equivalence across widths.
+
+use super::scope::{execute_ordered, Job};
+
+/// A scoped worker pool with a fixed worker count.
+///
+/// ```
+/// use harmonia_sim::exec::WorkerPool;
+///
+/// let pool = WorkerPool::with_threads(4);
+/// let doubled = pool.map(0u64..8, |x| x * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool sized from the environment (`HARMONIA_THREADS`, else the
+    /// machine's available parallelism).
+    pub fn from_env() -> Self {
+        WorkerPool {
+            threads: super::threads(),
+        }
+    }
+
+    /// A pool with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs jobs inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Runs heterogeneous boxed jobs, returning results in submission
+    /// order.
+    pub fn run<'a, R: Send + 'a>(&self, jobs: Vec<Job<'a, R>>) -> Vec<R> {
+        execute_ordered(self.threads, jobs)
+    }
+
+    /// Applies `f` to every item, returning results in item order.
+    ///
+    /// The serial pool iterates inline without boxing, which is the
+    /// bit-exact path `HARMONIA_THREADS=1` selects.
+    pub fn map<T, R, F>(&self, items: impl IntoIterator<Item = T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.is_serial() {
+            return items.into_iter().map(f).collect();
+        }
+        let f = &f;
+        let jobs: Vec<Job<R>> = items
+            .into_iter()
+            .map(|item| -> Job<R> { Box::new(move || f(item)) })
+            .collect();
+        execute_ordered(self.threads, jobs)
+    }
+
+    /// Parallel reduce: maps every item through `f`, then folds the
+    /// results with `merge`.
+    ///
+    /// The fold runs on the caller in submission order; with a
+    /// commutative + associative `merge` the outcome is independent of
+    /// both worker count and item order, which is the contract the
+    /// fleet-aggregation paths rely on.
+    pub fn map_reduce<T, R, F, M>(&self, items: impl IntoIterator<Item = T>, f: F, merge: M) -> Option<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        M: Fn(R, R) -> R,
+    {
+        self.map(items, f).into_iter().reduce(merge)
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_clamp_to_one() {
+        assert_eq!(WorkerPool::with_threads(0).threads(), 1);
+        assert!(WorkerPool::with_threads(0).is_serial());
+        assert!(!WorkerPool::with_threads(2).is_serial());
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_width() {
+        let input: Vec<u32> = (0..100).collect();
+        let want: Vec<u32> = input.iter().map(|x| x.wrapping_mul(7)).collect();
+        for threads in [1, 2, 5, 13] {
+            let got = WorkerPool::with_threads(threads).map(input.clone(), |x| x.wrapping_mul(7));
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_width_independent() {
+        let serial = WorkerPool::with_threads(1)
+            .map_reduce(1u64..=100, |x| x * x, |a, b| a + b)
+            .unwrap();
+        let parallel = WorkerPool::with_threads(8)
+            .map_reduce(1u64..=100, |x| x * x, |a, b| a + b)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, 338_350);
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        let none = WorkerPool::with_threads(4).map_reduce(std::iter::empty::<u8>(), |x| x, |a, _| a);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn run_orders_heterogeneous_jobs() {
+        use super::super::scope::job;
+        let pool = WorkerPool::with_threads(3);
+        let out = pool.run(vec![
+            job(|| "a".to_string()),
+            job(|| "bb".to_string()),
+            job(|| "ccc".to_string()),
+        ]);
+        assert_eq!(out, vec!["a", "bb", "ccc"]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The scoped fan-out engine: jobs in, ordered results out.
+//!
+//! [`execute_ordered`] is the one place in the workspace that spawns
+//! threads. Workers are scoped ([`std::thread::scope`]), so jobs may
+//! borrow from the caller's stack; the job queue and the result path are
+//! plain `mpsc` channels. Every job carries its submission index, and the
+//! caller reassembles results by index, which is what makes the parallel
+//! output bit-identical to the serial one.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+
+/// A unit of work: boxed so heterogeneous closures can share one queue.
+pub type Job<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// Boxes a closure as a [`Job`] (sugar for call sites building task lists).
+pub fn job<'a, R, F: FnOnce() -> R + Send + 'a>(f: F) -> Job<'a, R> {
+    Box::new(f)
+}
+
+/// Runs `jobs` on up to `workers` scoped threads and returns their
+/// results in submission order.
+///
+/// With `workers <= 1` (or zero/one jobs) this is an inline serial loop
+/// on the calling thread — the exact path `HARMONIA_THREADS=1` pins.
+///
+/// # Panics
+///
+/// If jobs panic, re-raises the payload of the lowest-index panicking
+/// job — the one the serial run would have hit first.
+pub fn execute_ordered<'a, R: Send + 'a>(workers: usize, jobs: Vec<Job<'a, R>>) -> Vec<R> {
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let workers = workers.min(n);
+
+    // Pre-load the whole queue so worker `recv` never blocks: it either
+    // takes a job or sees the disconnected sender and exits.
+    let (job_tx, job_rx) = mpsc::channel::<(usize, Job<'a, R>)>();
+    for pair in jobs.into_iter().enumerate() {
+        job_tx.send(pair).expect("receiver alive until scope end");
+    }
+    drop(job_tx);
+    let queue = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel();
+
+    let mut slots: Vec<Option<ResultOf<R>>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let res_tx = res_tx.clone();
+            s.spawn(move || loop {
+                // Hold the lock only for the non-blocking dequeue.
+                let msg = queue.lock().expect("queue lock never poisoned").recv();
+                let Ok((idx, job)) = msg else { break };
+                let out = catch_unwind(AssertUnwindSafe(job));
+                if res_tx.send((idx, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        for (idx, out) in res_rx {
+            slots[idx] = Some(out);
+        }
+    });
+
+    // Deterministic panic propagation: lowest submission index first.
+    let mut results = Vec::with_capacity(n);
+    for (idx, slot) in slots.into_iter().enumerate() {
+        match slot.unwrap_or_else(|| panic!("job {idx} produced no result")) {
+            Ok(r) => results.push(r),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    results
+}
+
+type ResultOf<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(workers: usize, n: usize) -> Vec<usize> {
+        let jobs: Vec<Job<usize>> = (0..n).map(|i| job(move || i * i)).collect();
+        execute_ordered(workers, jobs)
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let want = squares(1, 37);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(squares(workers, 37), want, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_sets() {
+        assert_eq!(squares(4, 0), Vec::<usize>::new());
+        assert_eq!(squares(4, 1), vec![0]);
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let base = vec![10u64, 20, 30, 40];
+        let jobs: Vec<Job<u64>> = base
+            .iter()
+            .map(|v| -> Job<u64> { Box::new(move || v + 1) })
+            .collect();
+        assert_eq!(execute_ordered(3, jobs), vec![11, 21, 31, 41]);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let jobs: Vec<Job<u32>> = vec![
+            job(|| 1),
+            job(|| panic!("second")),
+            job(|| panic!("third")),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| execute_ordered(4, jobs)))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "second");
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        assert_eq!(squares(16, 3), vec![0, 1, 4]);
+    }
+}

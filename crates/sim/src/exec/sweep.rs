@@ -1,0 +1,70 @@
+//! Deterministic parameter-sweep primitives over the env-sized pool.
+//!
+//! These are the entry points the evaluation harness uses: every figure
+//! is a sweep over independent parameter points (packet sizes, corpus
+//! exponents, devices, shell variants), and [`par_sweep`] fans such a
+//! grid out to workers while keeping the output indistinguishable from
+//! the serial loop it replaced.
+
+use super::pool::WorkerPool;
+use super::scope::Job;
+
+/// Sweeps a parameter grid: applies `f` to every point, returning
+/// results in grid order regardless of worker count.
+///
+/// ```
+/// use harmonia_sim::exec::par_sweep;
+///
+/// let rows = par_sweep([64u32, 128, 256], |pkt| format!("{pkt} B"));
+/// assert_eq!(rows, vec!["64 B", "128 B", "256 B"]);
+/// ```
+pub fn par_sweep<T, R, F>(grid: impl IntoIterator<Item = T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    WorkerPool::from_env().map(grid, f)
+}
+
+/// Alias of [`par_sweep`] for item collections that aren't grids
+/// (mirrors the `map` naming the call sites replaced).
+pub fn par_map<T, R, F>(items: impl IntoIterator<Item = T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_sweep(items, f)
+}
+
+/// Runs heterogeneous boxed tasks (see [`super::job`]) concurrently,
+/// returning results in submission order.
+pub fn par_tasks<'a, R: Send + 'a>(tasks: Vec<Job<'a, R>>) -> Vec<R> {
+    WorkerPool::from_env().run(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_keeps_grid_order() {
+        let grid: Vec<(u32, u32)> = (0..6).flat_map(|a| (0..4).map(move |b| (a, b))).collect();
+        let want: Vec<u32> = grid.iter().map(|&(a, b)| a * 10 + b).collect();
+        assert_eq!(par_sweep(grid, |(a, b)| a * 10 + b), want);
+    }
+
+    #[test]
+    fn map_matches_sweep() {
+        let items = vec![3u8, 1, 2];
+        assert_eq!(par_map(items.clone(), |x| x + 1), par_sweep(items, |x| x + 1));
+    }
+
+    #[test]
+    fn tasks_reassemble_in_submission_order() {
+        use super::super::scope::job;
+        let out = par_tasks((0..10u32).map(|i| job(move || i)).collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

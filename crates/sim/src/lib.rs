@@ -26,6 +26,7 @@
 
 pub mod async_fifo;
 pub mod edges;
+pub mod exec;
 pub mod fifo;
 pub mod pipeline;
 pub mod rng;
@@ -35,8 +36,9 @@ pub mod time;
 
 pub use async_fifo::AsyncFifo;
 pub use edges::{ClockEdge, MultiClock};
+pub use exec::WorkerPool;
 pub use fifo::{FifoFullError, SyncFifo};
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, PushError};
 pub use rng::SplitMix64;
 pub use stats::{LatencyStats, Throughput};
 pub use stream::StreamBeat;

@@ -7,6 +7,40 @@
 //! emerges exactly `latency` cycles later, and throughput is never reduced.
 
 use std::collections::VecDeque;
+use std::fmt;
+
+/// A rejected [`Pipeline::push`]: the item comes back with the cycle
+/// context needed to diagnose the collision without a debugger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushError<T> {
+    /// The item the pipeline refused.
+    pub item: T,
+    /// The cycle the rejected push targeted.
+    pub cycle: u64,
+    /// The cycle of the most recent accepted push (pushes must be
+    /// strictly later than this).
+    pub last_push_cycle: u64,
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_item(self) -> T {
+        self.item
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline rejected push at cycle {} (last accepted push at cycle {}; \
+             a pipeline accepts at most one beat per cycle, strictly in time order)",
+            self.cycle, self.last_push_cycle
+        )
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
 
 /// A fully pipelined stage with fixed latency in cycles.
 ///
@@ -47,13 +81,19 @@ impl<T> Pipeline<T> {
     ///
     /// # Errors
     ///
-    /// Returns the item back if another item was already accepted at the
-    /// same cycle (a pipeline accepts at most one beat per cycle) or if
-    /// `cycle` is in the past relative to the previous push.
-    pub fn push(&mut self, cycle: u64, item: T) -> Result<(), T> {
+    /// Returns a [`PushError`] carrying the item back — plus the
+    /// offending and last-accepted cycles — if another item was already
+    /// accepted at the same cycle (a pipeline accepts at most one beat
+    /// per cycle) or if `cycle` is in the past relative to the previous
+    /// push.
+    pub fn push(&mut self, cycle: u64, item: T) -> Result<(), PushError<T>> {
         if let Some(last) = self.last_push_cycle {
             if cycle <= last {
-                return Err(item);
+                return Err(PushError {
+                    item,
+                    cycle,
+                    last_push_cycle: last,
+                });
             }
         }
         self.last_push_cycle = Some(cycle);
@@ -111,9 +151,24 @@ mod tests {
     fn one_item_per_cycle() {
         let mut p = Pipeline::new(2);
         p.push(1, 'x').unwrap();
-        assert_eq!(p.push(1, 'y'), Err('y'));
-        assert_eq!(p.push(0, 'z'), Err('z'));
+        let same_cycle = p.push(1, 'y').unwrap_err();
+        assert_eq!(same_cycle.item, 'y');
+        assert_eq!(same_cycle.cycle, 1);
+        assert_eq!(same_cycle.last_push_cycle, 1);
+        let past = p.push(0, 'z').unwrap_err();
+        assert_eq!(past.into_item(), 'z');
+        assert_eq!(past.cycle, 0);
+        assert_eq!(past.last_push_cycle, 1);
         p.push(2, 'y').unwrap();
+    }
+
+    #[test]
+    fn push_error_display_names_both_cycles() {
+        let mut p = Pipeline::new(1);
+        p.push(7, ()).unwrap();
+        let err = p.push(3, ()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cycle 3") && msg.contains("cycle 7"), "{msg}");
     }
 
     #[test]

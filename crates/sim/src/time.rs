@@ -24,17 +24,17 @@ pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 pub struct Freq(u64);
 
 impl Freq {
+    /// The frequency in hertz.
+    pub fn hz(self) -> u64 {
+        self.0
+    }
+
     /// Creates a frequency from hertz.
     ///
     /// # Panics
     ///
     /// Panics if `hz` is zero: a zero-frequency clock never ticks and any
     /// component on it would silently deadlock the simulation.
-    pub fn hz(self) -> u64 {
-        self.0
-    }
-
-    /// Creates a frequency from hertz.
     pub fn from_hz(hz: u64) -> Self {
         assert!(hz > 0, "clock frequency must be non-zero");
         Freq(hz)

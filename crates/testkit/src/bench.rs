@@ -24,6 +24,18 @@ const DEFAULT_SAMPLE_SIZE: usize = 30;
 const WARMUP_NANOS: u128 = 20_000_000; // 20 ms
 const TARGET_SAMPLE_NANOS: u128 = 2_000_000; // 2 ms
 
+/// Smoke mode (`TESTKIT_BENCH_SMOKE=1`): CI-grade runs that still emit
+/// every `BENCH_*.json` but cap the time spent per benchmark.
+const SMOKE_SAMPLE_SIZE: usize = 5;
+const SMOKE_WARMUP_NANOS: u128 = 2_000_000; // 2 ms
+const SMOKE_TARGET_SAMPLE_NANOS: u128 = 500_000; // 0.5 ms
+
+fn smoke_mode() -> bool {
+    std::env::var("TESTKIT_BENCH_SMOKE")
+        .map(|v| v.trim() != "0" && !v.trim().is_empty())
+        .unwrap_or(false)
+}
+
 /// Work accounted per iteration, for derived rate reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Throughput {
@@ -96,11 +108,13 @@ pub struct Criterion {
     filters: Vec<String>,
     out_dir: PathBuf,
     groups_run: usize,
+    smoke: bool,
 }
 
 impl Criterion {
-    /// Builds a context from CLI args (non-flag args are name filters)
-    /// and `TESTKIT_BENCH_DIR` (default `target/testkit-bench`).
+    /// Builds a context from CLI args (non-flag args are name filters),
+    /// `TESTKIT_BENCH_DIR` (default `target/testkit-bench`), and
+    /// `TESTKIT_BENCH_SMOKE` (non-zero enables fast CI smoke runs).
     pub fn from_env() -> Self {
         let filters = std::env::args()
             .skip(1)
@@ -113,6 +127,7 @@ impl Criterion {
             filters,
             out_dir,
             groups_run: 0,
+            smoke: smoke_mode(),
         }
     }
 
@@ -175,8 +190,19 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&self.name, &name) {
             return;
         }
+        let smoke = self.criterion.smoke;
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
+            sample_size: if smoke {
+                self.sample_size.min(SMOKE_SAMPLE_SIZE)
+            } else {
+                self.sample_size
+            },
+            warmup_nanos: if smoke { SMOKE_WARMUP_NANOS } else { WARMUP_NANOS },
+            target_sample_nanos: if smoke {
+                SMOKE_TARGET_SAMPLE_NANOS
+            } else {
+                TARGET_SAMPLE_NANOS
+            },
             stats: None,
         };
         routine(&mut bencher);
@@ -230,6 +256,8 @@ impl BenchmarkGroup<'_> {
 /// Times the measured routine. Handed to bench closures.
 pub struct Bencher {
     sample_size: usize,
+    warmup_nanos: u128,
+    target_sample_nanos: u128,
     stats: Option<BenchStats>,
 }
 
@@ -243,12 +271,12 @@ impl Bencher {
         loop {
             black_box(f());
             warm_iters += 1;
-            if warm_start.elapsed().as_nanos() >= WARMUP_NANOS && warm_iters >= 3 {
+            if warm_start.elapsed().as_nanos() >= self.warmup_nanos && warm_iters >= 3 {
                 break;
             }
         }
         let est_ns = (warm_start.elapsed().as_nanos() / u128::from(warm_iters)).max(1);
-        let iters_per_sample = (TARGET_SAMPLE_NANOS / est_ns).clamp(1, 10_000_000) as u64;
+        let iters_per_sample = (self.target_sample_nanos / est_ns).clamp(1, 10_000_000) as u64;
 
         let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {

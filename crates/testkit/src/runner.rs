@@ -48,6 +48,9 @@ pub struct Config {
     /// Whether minimal counterexample tapes are appended to the
     /// regression file on failure.
     pub persist: bool,
+    /// Worker threads for [`Runner::run_parallel`] (1 = exact serial
+    /// path). Resolved from `HARMONIA_THREADS` / available parallelism.
+    pub threads: usize,
 }
 
 fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
@@ -56,13 +59,15 @@ fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
 
 impl Config {
     /// Reads `TESTKIT_CASES`, `TESTKIT_SEED`, `TESTKIT_SHRINK_BUDGET`,
-    /// and `TESTKIT_PERSIST` (0 disables), with hermetic defaults.
+    /// `TESTKIT_PERSIST` (0 disables), and `HARMONIA_THREADS`, with
+    /// hermetic defaults.
     pub fn from_env() -> Self {
         Config {
             cases: env_parse("TESTKIT_CASES").unwrap_or(DEFAULT_CASES),
             seed: env_parse("TESTKIT_SEED").unwrap_or(DEFAULT_SEED),
             shrink_budget: env_parse("TESTKIT_SHRINK_BUDGET").unwrap_or(DEFAULT_SHRINK_BUDGET),
             persist: env_parse::<u8>("TESTKIT_PERSIST").unwrap_or(1) != 0,
+            threads: harmonia_sim::exec::threads(),
         }
     }
 }
@@ -129,51 +134,108 @@ impl Runner {
             .map(|d| d.join(format!("{}.tape", self.name)))
     }
 
-    /// Executes the property. `gen` builds a case from the draw stream;
-    /// `test` checks it (panics are treated as failures and shrunk too).
+    /// Per-case seeds, derived from the base seed **by case index** (the
+    /// i-th seed is the i-th output of the master stream). Workers never
+    /// touch the master stream, so a failing case reports the same seed
+    /// and tape at any thread count.
+    fn case_seeds(&self) -> Vec<u64> {
+        let mut master = SplitMix64::new(self.config.seed);
+        (0..self.config.cases).map(|_| master.next_u64()).collect()
+    }
+
+    /// Executes the property serially. `gen` builds a case from the draw
+    /// stream; `test` checks it (panics are treated as failures and
+    /// shrunk too).
     pub fn run<T, G, F>(&self, gen: G, test: F) -> Outcome<T>
     where
         T: Clone + Debug,
         G: Fn(&mut DataSource) -> T,
         F: Fn(&T) -> CaseResult,
     {
-        let eval_tape = |tape: &[u64]| -> Option<String> {
-            let mut src = DataSource::replay(tape.to_vec());
-            let value = match catch_unwind(AssertUnwindSafe(|| gen(&mut src))) {
-                Ok(v) => v,
-                // A strategy panicking on a mutated tape is not a
-                // property failure; reject the candidate.
-                Err(_) => return None,
-            };
-            run_case(&test, &value).err().map(|e| e.0)
-        };
-
-        let mut ran = 0u32;
-
         // Phase 1: replay persisted counterexamples.
-        for tape in self.load_regressions() {
-            ran += 1;
-            let mut src = DataSource::replay(tape.clone());
-            let value = gen(&mut src);
-            if let Err(err) = run_case(&test, &value) {
-                return self.shrunk_failure(tape, 0, err, &gen, eval_tape);
-            }
+        if let Some((tape, err)) = self.replay_regressions(&gen, &test) {
+            return self.shrunk_failure(tape, 0, err, &gen, eval_tape(&gen, &test));
         }
 
-        // Phase 2: seeded generation.
-        let mut master = SplitMix64::new(self.config.seed);
-        for _ in 0..self.config.cases {
-            ran += 1;
-            let case_seed = master.next_u64();
+        // Phase 2: seeded generation, first failure wins.
+        for case_seed in self.case_seeds() {
             let mut src = DataSource::live(case_seed);
             let value = gen(&mut src);
             if let Err(err) = run_case(&test, &value) {
                 let tape = src.tape().to_vec();
-                return self.shrunk_failure(tape, case_seed, err, &gen, eval_tape);
+                return self.shrunk_failure(tape, case_seed, err, &gen, eval_tape(&gen, &test));
             }
         }
 
-        Outcome::Passed { cases: ran }
+        Outcome::Passed {
+            cases: self.regression_count() + self.config.cases,
+        }
+    }
+
+    /// Executes the property with generated cases fanned out across
+    /// `config.threads` workers (the path [`forall!`](crate::forall)
+    /// takes).
+    ///
+    /// Determinism contract: seeds derive from the case index (see
+    /// [`Runner::case_seeds`]), and when several cases fail, the one
+    /// with the lowest index is reported — the same case the serial run
+    /// stops at. With `threads == 1` this *is* [`Runner::run`], so
+    /// failures, shrink tapes and persisted regressions are identical at
+    /// every thread count.
+    pub fn run_parallel<T, G, F>(&self, gen: G, test: F) -> Outcome<T>
+    where
+        T: Clone + Debug,
+        G: Fn(&mut DataSource) -> T + Sync,
+        F: Fn(&T) -> CaseResult + Sync,
+    {
+        let pool = harmonia_sim::exec::WorkerPool::with_threads(self.config.threads);
+        if pool.is_serial() {
+            return self.run(gen, test);
+        }
+
+        // Phase 1 stays serial: regression replays are few and ordered.
+        if let Some((tape, err)) = self.replay_regressions(&gen, &test) {
+            return self.shrunk_failure(tape, 0, err, &gen, eval_tape(&gen, &test));
+        }
+
+        // Phase 2: every case runs (no early exit across workers); the
+        // lowest-index failure is selected, matching the serial run.
+        let failures = pool.map(self.case_seeds(), |case_seed| {
+            let mut src = DataSource::live(case_seed);
+            let value = gen(&mut src);
+            run_case(&test, &value)
+                .err()
+                .map(|err| (src.tape().to_vec(), case_seed, err))
+        });
+        if let Some((tape, case_seed, err)) = failures.into_iter().flatten().next() {
+            return self.shrunk_failure(tape, case_seed, err, &gen, eval_tape(&gen, &test));
+        }
+
+        Outcome::Passed {
+            cases: self.regression_count() + self.config.cases,
+        }
+    }
+
+    /// Replays persisted counterexample tapes in file order; returns the
+    /// first failing tape with its error.
+    fn replay_regressions<T, G, F>(&self, gen: &G, test: &F) -> Option<(Vec<u64>, CaseError)>
+    where
+        T: Clone + Debug,
+        G: Fn(&mut DataSource) -> T,
+        F: Fn(&T) -> CaseResult,
+    {
+        for tape in self.load_regressions() {
+            let mut src = DataSource::replay(tape.clone());
+            let value = gen(&mut src);
+            if let Err(err) = run_case(test, &value) {
+                return Some((tape, err));
+            }
+        }
+        None
+    }
+
+    fn regression_count(&self) -> u32 {
+        self.load_regressions().len() as u32
     }
 
     fn shrunk_failure<T, G>(
@@ -259,6 +321,24 @@ pub fn format_regression(tape: &[u64], error: &str) -> String {
     let draws: Vec<String> = tape.iter().map(u64::to_string).collect();
     let note = error.lines().next().unwrap_or("").chars().take(120).collect::<String>();
     format!("tape {} # {}\n", draws.join(" "), note)
+}
+
+/// The shrinker's candidate evaluator: regenerate from a mutated tape and
+/// re-test. A strategy panicking on a mutated tape is not a property
+/// failure; the candidate is rejected.
+fn eval_tape<'a, T, G, F>(gen: &'a G, test: &'a F) -> impl FnMut(&[u64]) -> Option<String> + 'a
+where
+    G: Fn(&mut DataSource) -> T,
+    F: Fn(&T) -> CaseResult,
+{
+    move |tape: &[u64]| {
+        let mut src = DataSource::replay(tape.to_vec());
+        let value = match catch_unwind(AssertUnwindSafe(|| gen(&mut src))) {
+            Ok(v) => v,
+            Err(_) => return None,
+        };
+        run_case(test, &value).err().map(|e| e.0)
+    }
 }
 
 fn run_case<T>(test: impl Fn(&T) -> CaseResult, value: &T) -> CaseResult {
