@@ -23,6 +23,9 @@ cargo test -q --workspace --offline --locked
 echo "==> benches compile"
 cargo bench --no-run --workspace --offline --locked
 
+echo "==> fault campaigns (smoke): deep randomized fault plans"
+TESTKIT_CASES=128 cargo test -q --offline --locked -p harmonia-host --test fault_campaigns
+
 echo "==> paper bench (smoke): serial vs parallel sweep"
 TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench paper
 cp target/testkit-bench/BENCH_paper.json .

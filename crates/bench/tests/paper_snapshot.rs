@@ -1,0 +1,32 @@
+//! Pins the full paper reproduction to the committed snapshot.
+//!
+//! `paper_output.txt` at the repo root is the regression baseline: any
+//! change to models, benchmarks or the fault plane that shifts a single
+//! byte of the evaluation output fails here. In particular the no-op
+//! fault plan (`FaultPlan::none()`) must keep every artifact bit-exact —
+//! the paper binary takes the faultless paths throughout.
+
+#[test]
+fn all_tables_match_committed_snapshot() {
+    let rendered: String = harmonia_bench::all_tables()
+        .iter()
+        .map(|t| format!("{t}\n"))
+        .collect();
+    let committed = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../paper_output.txt"
+    ));
+    if rendered != committed {
+        let drift = rendered
+            .lines()
+            .zip(committed.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        panic!(
+            "paper output drifted from the committed snapshot \
+             (first diff at line {:?}); if intentional, regenerate with:\n\
+             cargo run -p harmonia-bench --bin paper > paper_output.txt",
+            drift.map(|(i, (a, b))| format!("{}: {a:?} != {b:?}", i + 1))
+        );
+    }
+}

@@ -73,6 +73,85 @@ fn full_paper_output_byte_identical_serial_vs_parallel() {
     assert_eq!(serial, parallel);
 }
 
+/// One self-contained fault campaign: a seeded plan mixing scheduled
+/// link-flap + credit-stall events with background drop/corrupt/irq-lost
+/// rates, driven through the resilient bring-up + monitoring workflow.
+/// Returns a rendered transcript (driver report, ack order, fault
+/// counters) for byte-exact comparison.
+fn fault_campaign(seed: u64) -> String {
+    use harmonia::cmd::{CommandCode, UnifiedControlKernel};
+    use harmonia::host::{CommandDriver, DmaEngine, DriverError};
+    use harmonia::hw::device::catalog;
+    use harmonia::hw::ip::PcieDmaIp;
+    use harmonia::hw::Vendor;
+    use harmonia::shell::{MemoryDemand, RoleSpec, TailoredShell, UnifiedShell};
+    use harmonia::sim::{FaultKind, FaultPlan, FaultRates};
+
+    let dev = catalog::device_a();
+    let unified = UnifiedShell::for_device(&dev);
+    let role = RoleSpec::builder("campaign")
+        .network_gbps(100)
+        .network_ports(1)
+        .memory(MemoryDemand::Ddr { channels: 1 })
+        .build();
+    let mut shell = TailoredShell::tailor(&unified, &role).unwrap();
+    let mut kernel = UnifiedControlKernel::new(64);
+    kernel.attach_shell(shell.rbbs().iter().map(|r| r.as_ref()));
+    let (gen, lanes) = dev.pcie().unwrap();
+    let mut drv = CommandDriver::new(
+        DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, gen, lanes)),
+        kernel,
+    );
+    let plan = FaultPlan::new()
+        .at(0, FaultKind::LinkDown)
+        .at(30_000_000, FaultKind::LinkUp)
+        .at(50_000_000, FaultKind::PcieCreditStall { beats: 1_000 })
+        .with_rates(
+            seed,
+            FaultRates {
+                cmd_drop: 0.05,
+                cmd_corrupt: 0.05,
+                irq_lost: 0.05,
+                ecc: 0.0,
+            },
+        );
+    let inj = plan.injector();
+    drv.set_fault_injector(inj.clone());
+    drv.init_shell_resilient(&mut shell).unwrap();
+    for _ in 0..16 {
+        match drv.cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new()) {
+            Ok(_) | Err(DriverError::GaveUp { .. }) => {}
+            Err(e) => panic!("campaign must converge, got {e}"),
+        }
+    }
+    let _ = drv.read_all_stats_resilient(&shell).unwrap();
+    assert!(drv.report().converged(), "seed {seed}: {}", drv.report());
+    format!(
+        "seed={seed} {} acked={:?} {}",
+        drv.report(),
+        drv.acked_log(),
+        inj.report()
+    )
+}
+
+/// The same seeded fault plans produce byte-identical driver reports no
+/// matter how wide the worker pool runs the campaign fleet.
+#[test]
+fn fault_campaign_reports_byte_identical_serial_vs_parallel() {
+    let run = || harmonia::sim::exec::par_map(0u64..8, fault_campaign).join("\n");
+    let serial = with_threads(Some("1"), run);
+    let parallel = with_threads(Some("4"), run);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.lines().count(), 8, "one transcript per seed");
+    // The campaigns actually exercised the fault plane: the scheduled
+    // link-down alone forces retries on the first bring-up command.
+    assert!(serial.contains("retries="), "{serial}");
+    assert!(
+        !serial.contains("retries=0 timeouts=0 nacks=0 gave-up=0"),
+        "no campaign observed any fault:\n{serial}"
+    );
+}
+
 /// A property that fails on a slice of the input space, run at several
 /// thread counts: each run must stop on the same failing seed, minimal
 /// counterexample, and shrink tape (no env needed — `Config.threads`

@@ -29,7 +29,12 @@ pub enum CommandCode {
     TimeSync,
     /// 0x0009 — read board health (temperatures, voltages).
     HealthRead,
-    /// An RBB-defined extension code.
+    /// 0x000F — negative acknowledgement: the kernel received bytes it
+    /// could not decode. The response payload carries a numeric reason
+    /// ([`crate::packet::DecodeError::code`]); the driver treats it as a
+    /// retryable failure.
+    Nack,
+    /// An RBB-defined extension code (≥ 0x0010).
     Extension(u16),
 }
 
@@ -47,6 +52,7 @@ impl CommandCode {
             CommandCode::FlashErase => 0x0007,
             CommandCode::TimeSync => 0x0008,
             CommandCode::HealthRead => 0x0009,
+            CommandCode::Nack => 0x000F,
             CommandCode::Extension(v) => v,
         }
     }
@@ -64,6 +70,7 @@ impl CommandCode {
             0x0007 => CommandCode::FlashErase,
             0x0008 => CommandCode::TimeSync,
             0x0009 => CommandCode::HealthRead,
+            0x000F => CommandCode::Nack,
             other => CommandCode::Extension(other),
         }
     }
@@ -82,6 +89,7 @@ impl fmt::Display for CommandCode {
             CommandCode::FlashErase => "flash-erase",
             CommandCode::TimeSync => "time-sync",
             CommandCode::HealthRead => "health-read",
+            CommandCode::Nack => "nack",
             CommandCode::Extension(v) => return write!(f, "extension({v:#06x})"),
         };
         f.write_str(s)
@@ -156,6 +164,14 @@ mod tests {
             CommandCode::from_u16(0x7777),
             CommandCode::Extension(0x7777)
         );
+    }
+
+    #[test]
+    fn nack_sits_below_the_extension_space() {
+        assert_eq!(CommandCode::Nack.to_u16(), 0x000F);
+        assert_eq!(CommandCode::from_u16(0x000F), CommandCode::Nack);
+        assert_eq!(CommandCode::from_u16(0x0010), CommandCode::Extension(0x0010));
+        assert_eq!(CommandCode::Nack.to_string(), "nack");
     }
 
     #[test]

@@ -12,14 +12,14 @@
 //! register program inside the kernel, so migrating from device C to
 //! device D changes the kernel's program tables, not the host software.
 
-use crate::codes::CommandCode;
-use crate::packet::{CommandPacket, DecodeError};
+use crate::codes::{CommandCode, SrcId};
+use crate::packet::{CommandPacket, DecodeError, VERSION};
 use std::collections::btree_map::Entry;
 use harmonia_hw::regfile::{RegOp, RegisterFile};
 use harmonia_hw::resource::ResourceUsage;
 use harmonia_shell::rbb::Rbb;
 use harmonia_sim::{Picos, SyncFifo};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -125,6 +125,10 @@ pub struct UnifiedControlKernel {
     extensions: BTreeMap<u16, ExtensionHandler>,
     commands_executed: u64,
     reg_ops_executed: u64,
+    idem_cache: BTreeMap<(u8, u32), CommandPacket>,
+    idem_order: VecDeque<(u8, u32)>,
+    decode_errors: u64,
+    replays: u64,
 }
 
 impl fmt::Debug for UnifiedControlKernel {
@@ -141,6 +145,8 @@ impl fmt::Debug for UnifiedControlKernel {
 impl UnifiedControlKernel {
     /// Soft-core clock: commands execute at Nios-class speed.
     pub const CORE_CLOCK_MHZ: u64 = 250;
+    /// Bound on cached idempotent responses (oldest evicted first).
+    pub const IDEM_CACHE_DEPTH: usize = 256;
     /// Fixed per-command overhead in core cycles (parse + dispatch +
     /// encapsulate).
     pub const CYCLES_PER_COMMAND: u64 = 60;
@@ -164,13 +170,18 @@ impl UnifiedControlKernel {
             extensions: BTreeMap::new(),
             commands_executed: 0,
             reg_ops_executed: 0,
+            idem_cache: BTreeMap::new(),
+            idem_order: VecDeque::new(),
+            decode_errors: 0,
+            replays: 0,
         }
     }
 
-    /// Registers a handler for an extension command code (≥ 0x000A). The
-    /// kernel's command space stays open for new hardware modules — i2c
-    /// sensor buses, flash controllers — without touching the packet
-    /// format or the drivers.
+    /// Registers a handler for an extension command code (≥ 0x0010; the
+    /// 0x000A–0x000F band is reserved for protocol codes such as
+    /// [`CommandCode::Nack`]). The kernel's command space stays open for
+    /// new hardware modules — i2c sensor buses, flash controllers —
+    /// without touching the packet format or the drivers.
     ///
     /// # Panics
     ///
@@ -178,7 +189,7 @@ impl UnifiedControlKernel {
     /// extension.
     pub fn register_extension(&mut self, code: u16, handler: ExtensionHandler) {
         assert!(
-            code >= 0x000A,
+            code >= 0x0010,
             "extension code {code:#06x} collides with built-in commands"
         );
         match self.extensions.entry(code) {
@@ -228,6 +239,45 @@ impl UnifiedControlKernel {
         self.submit(packet)
     }
 
+    /// Drop/corrupt-aware ingest: bytes that fail to decode produce a
+    /// [`CommandCode::Nack`] response packet addressed to `reply_to` (the
+    /// controller whose queue the bytes arrived on) instead of an error —
+    /// the kernel must survive a corrupted wire, not panic or wedge.
+    ///
+    /// Returns `Ok(Some(nack))` for undecodable bytes, `Ok(None)` when the
+    /// command was accepted into the buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BufferFull`] under backpressure (the bytes were
+    /// valid; the driver should retry after draining responses).
+    pub fn submit_bytes_or_nack(
+        &mut self,
+        bytes: &[u8],
+        reply_to: SrcId,
+    ) -> Result<Option<CommandPacket>, KernelError> {
+        match CommandPacket::decode(bytes) {
+            Ok(packet) => {
+                self.submit(packet)?;
+                Ok(None)
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                let nack = CommandPacket {
+                    version: VERSION,
+                    src: reply_to,
+                    dst: reply_to.to_u8(),
+                    rbb_id: 0,
+                    instance_id: 0,
+                    code: CommandCode::Nack,
+                    options: 0,
+                    data: vec![e.code()],
+                };
+                Ok(Some(nack))
+            }
+        }
+    }
+
     /// Enqueues a parsed packet.
     ///
     /// # Errors
@@ -254,9 +304,29 @@ impl UnifiedControlKernel {
         let Some(packet) = self.buffer.pop() else {
             return Ok(None);
         };
+        // Idempotency-tagged commands replay their cached response: a
+        // retried `ModuleInit` whose completion interrupt was lost must
+        // not run the vendor init program twice.
+        let idem_key = packet.idempotency_key().map(|k| (packet.src.to_u8(), k));
+        if let Some(key) = idem_key {
+            if let Some(cached) = self.idem_cache.get(&key) {
+                self.replays += 1;
+                return Ok(Some(cached.clone()));
+            }
+        }
         let data = self.execute(&packet)?;
         self.commands_executed += 1;
-        Ok(Some(packet.response(data)))
+        let response = packet.response(data);
+        if let Some(key) = idem_key {
+            if self.idem_order.len() == Self::IDEM_CACHE_DEPTH {
+                if let Some(old) = self.idem_order.pop_front() {
+                    self.idem_cache.remove(&old);
+                }
+            }
+            self.idem_cache.insert(key, response.clone());
+            self.idem_order.push_back(key);
+        }
+        Ok(Some(response))
     }
 
     /// Drains the whole buffer, returning all responses.
@@ -423,6 +493,11 @@ impl UnifiedControlKernel {
                 }
                 Ok(out)
             }
+            // NACK is kernel-originated only; a host submitting one is a
+            // protocol violation.
+            CommandCode::Nack => Err(KernelError::Unsupported {
+                code: CommandCode::Nack.to_u16(),
+            }),
             CommandCode::Extension(code) => match self.extensions.get_mut(&code) {
                 Some(handler) => handler(packet),
                 None => Err(KernelError::Unsupported { code }),
@@ -494,6 +569,16 @@ impl UnifiedControlKernel {
     /// operations host software would otherwise perform itself (Figure 13).
     pub fn reg_ops_executed(&self) -> u64 {
         self.reg_ops_executed
+    }
+
+    /// Undecodable submissions turned into NACK responses.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Idempotent retries served from the response cache (no re-execution).
+    pub fn replays(&self) -> u64 {
+        self.replays
     }
 
     /// Execution latency of a command that performs `reg_ops` register
@@ -714,6 +799,75 @@ mod tests {
     fn extension_cannot_shadow_builtins() {
         let mut k = UnifiedControlKernel::new(4);
         k.register_extension(0x0002, Box::new(|_| Ok(Vec::new())));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with built-in")]
+    fn extension_cannot_shadow_nack() {
+        let mut k = UnifiedControlKernel::new(4);
+        k.register_extension(0x000F, Box::new(|_| Ok(Vec::new())));
+    }
+
+    #[test]
+    fn corrupt_bytes_become_a_nack_not_a_panic() {
+        let mut k = kernel_on_device_a();
+        let mut bytes = net_cmd(CommandCode::ModuleStatusRead).encode();
+        bytes[15] ^= 0xFF;
+        let nack = k
+            .submit_bytes_or_nack(&bytes, SrcId::Application)
+            .unwrap()
+            .expect("corrupt bytes must NACK");
+        assert_eq!(nack.code, CommandCode::Nack);
+        assert_eq!(nack.dst, SrcId::Application.to_u8());
+        assert_eq!(
+            nack.data,
+            vec![CommandPacket::decode(&bytes).unwrap_err().code()]
+        );
+        assert_eq!(k.decode_errors(), 1);
+        assert_eq!(k.pending(), 0);
+        // Valid bytes still go through the same entry point.
+        let good = net_cmd(CommandCode::ModuleStatusRead).encode();
+        assert_eq!(k.submit_bytes_or_nack(&good, SrcId::Application), Ok(None));
+        assert_eq!(k.pending(), 1);
+    }
+
+    #[test]
+    fn idempotent_module_init_replays_without_double_apply() {
+        let mut k = kernel_on_device_a();
+        let cmd = net_cmd(CommandCode::ModuleInit).with_idempotency_tag(7);
+        k.submit(cmd.clone()).unwrap();
+        let first = k.step().unwrap().unwrap();
+        let (execs, reg_ops) = (k.commands_executed(), k.reg_ops_executed());
+        // The driver retries the identical tagged command (e.g. its
+        // completion interrupt was lost).
+        k.submit(cmd).unwrap();
+        let replay = k.step().unwrap().unwrap();
+        assert_eq!(replay, first);
+        assert_eq!(k.commands_executed(), execs, "init must not run twice");
+        assert_eq!(k.reg_ops_executed(), reg_ops);
+        assert_eq!(k.replays(), 1);
+        // A different tag executes fresh.
+        k.submit(net_cmd(CommandCode::ModuleInit).with_idempotency_tag(8))
+            .unwrap();
+        k.step().unwrap().unwrap();
+        assert_eq!(k.commands_executed(), execs + 1);
+    }
+
+    #[test]
+    fn idempotency_cache_is_bounded() {
+        let mut k = kernel_on_device_a();
+        for tag in 0..(UnifiedControlKernel::IDEM_CACHE_DEPTH as u32 + 8) {
+            k.submit(net_cmd(CommandCode::ModuleStatusRead).with_idempotency_tag(tag))
+                .unwrap();
+            k.step().unwrap().unwrap();
+        }
+        // Tag 0 was evicted, so re-submitting it executes again.
+        let execs = k.commands_executed();
+        k.submit(net_cmd(CommandCode::ModuleStatusRead).with_idempotency_tag(0))
+            .unwrap();
+        k.step().unwrap().unwrap();
+        assert_eq!(k.commands_executed(), execs + 1);
+        assert_eq!(k.replays(), 0);
     }
 
     #[test]

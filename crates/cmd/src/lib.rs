@@ -22,4 +22,4 @@ pub mod packet;
 
 pub use codes::{CommandCode, SrcId};
 pub use kernel::{KernelError, ModuleHandle, UnifiedControlKernel};
-pub use packet::{CommandPacket, DecodeError};
+pub use packet::{CommandPacket, DecodeError, IDEMPOTENCY_FLAG};

@@ -21,6 +21,12 @@ use std::fmt;
 
 /// Protocol version this implementation speaks.
 pub const VERSION: u8 = 1;
+/// Options-word flag marking a command as idempotency-tagged: the
+/// remaining options bits carry a driver-chosen tag, and the kernel
+/// caches the response under `(src, options)` so a *retried* command
+/// (the execution succeeded but the completion was lost) replays the
+/// cached response instead of executing twice.
+pub const IDEMPOTENCY_FLAG: u32 = 0x8000_0000;
 /// Header length in 32-bit words.
 pub const HEADER_WORDS: u8 = 3;
 /// Maximum data words per packet (bounded by the 16-bit PayloadLen).
@@ -82,6 +88,18 @@ impl CommandPacket {
     pub fn with_options(mut self, options: u32) -> Self {
         self.options = options;
         self
+    }
+
+    /// Builder-style idempotency tag: sets [`IDEMPOTENCY_FLAG`] plus the
+    /// tag in the options word.
+    pub fn with_idempotency_tag(mut self, tag: u32) -> Self {
+        self.options = IDEMPOTENCY_FLAG | (tag & !IDEMPOTENCY_FLAG);
+        self
+    }
+
+    /// The idempotency key when the options word carries the flag.
+    pub fn idempotency_key(&self) -> Option<u32> {
+        (self.options & IDEMPOTENCY_FLAG != 0).then_some(self.options)
     }
 
     /// Total encoded size in bytes.
@@ -251,6 +269,22 @@ pub enum DecodeError {
     },
 }
 
+impl DecodeError {
+    /// Stable numeric reason code, carried in NACK response payloads so
+    /// host software can classify the failure without string parsing.
+    pub fn code(&self) -> u32 {
+        match self {
+            DecodeError::Misaligned { .. } => 1,
+            DecodeError::TooShort { .. } => 2,
+            DecodeError::BadVersion { .. } => 3,
+            DecodeError::BadHeaderLen { .. } => 4,
+            DecodeError::LengthMismatch { .. } => 5,
+            DecodeError::BadSrcId { .. } => 6,
+            DecodeError::ChecksumMismatch { .. } => 7,
+        }
+    }
+}
+
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -370,5 +404,40 @@ mod tests {
     #[test]
     fn display_mentions_code() {
         assert!(sample().to_string().contains("table-write"));
+    }
+
+    #[test]
+    fn idempotency_tag_round_trips() {
+        let p = sample().with_idempotency_tag(0x42);
+        assert_eq!(p.options, IDEMPOTENCY_FLAG | 0x42);
+        assert_eq!(p.idempotency_key(), Some(IDEMPOTENCY_FLAG | 0x42));
+        assert_eq!(
+            CommandPacket::decode(&p.encode()).unwrap().idempotency_key(),
+            p.idempotency_key()
+        );
+        assert_eq!(sample().idempotency_key(), None);
+    }
+
+    #[test]
+    fn decode_error_codes_are_distinct() {
+        let errs = [
+            DecodeError::Misaligned { len: 1 },
+            DecodeError::TooShort { words: 0 },
+            DecodeError::BadVersion { version: 9 },
+            DecodeError::BadHeaderLen { hd_len: 9 },
+            DecodeError::LengthMismatch {
+                declared: 1,
+                actual: 2,
+            },
+            DecodeError::BadSrcId { src: 0 },
+            DecodeError::ChecksumMismatch {
+                declared: 0,
+                computed: 1,
+            },
+        ];
+        let mut codes: Vec<u32> = errs.iter().map(DecodeError::code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
     }
 }

@@ -7,12 +7,17 @@
 //! all statistics) are one command per module regardless of the platform
 //! underneath — that is the whole Figure 13 story.
 
-use crate::dma::DmaEngine;
+use crate::dma::{CommandDelivery, DmaEngine};
+use crate::resilience::{DriverError, DriverReport, RetryPolicy};
 use harmonia_cmd::{CommandCode, CommandPacket, KernelError, SrcId, UnifiedControlKernel};
 use harmonia_shell::rbb::RbbKind;
 use harmonia_shell::TailoredShell;
-use harmonia_sim::Picos;
+use harmonia_sim::{FaultInjector, Picos, Pipeline};
 use std::collections::BTreeSet;
+
+/// Status-register value published for a module the driver took out of
+/// service (visible through `ModuleStatusRead`/stats afterwards).
+pub const DEGRADED_STATUS: u32 = 0xDEAD;
 
 /// An abstract command issued by the driver — the unit Figure 13 counts
 /// when diffing software across platforms.
@@ -34,6 +39,17 @@ pub struct CommandDriver {
     kernel: UnifiedControlKernel,
     issued: Vec<IssuedCommand>,
     total_latency_ps: Picos,
+    policy: RetryPolicy,
+    report: DriverReport,
+    faults: FaultInjector,
+    next_tag: u32,
+    /// Response-upload path: a zero-bubble pipeline whose scheduling
+    /// errors surface as [`DriverError::ResponsePath`], never a panic.
+    resp_pipe: Pipeline<u32>,
+    /// Tags in completion order, per driver — retries must never reorder
+    /// responses within one `SrcId`.
+    acked_log: Vec<u32>,
+    clock_ps: Picos,
 }
 
 impl CommandDriver {
@@ -50,7 +66,49 @@ impl CommandDriver {
             kernel,
             issued: Vec::new(),
             total_latency_ps: 0,
+            policy: RetryPolicy::from_env(),
+            report: DriverReport::default(),
+            faults: FaultInjector::none(),
+            next_tag: 0,
+            resp_pipe: Pipeline::new(0),
+            acked_log: Vec::new(),
+            clock_ps: 0,
         }
+    }
+
+    /// Attaches a fault injector to this driver *and* its DMA engine
+    /// (clones share the plan state, so the schedule is consistent across
+    /// the wire and the completion path).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.engine.set_fault_injector(faults.clone());
+        self.faults = faults;
+    }
+
+    /// Replaces the retry/timeout policy.
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retry/timeout policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Failure/recovery accounting so far.
+    pub fn report(&self) -> &DriverReport {
+        &self.report
+    }
+
+    /// Idempotency tags in completion order (the per-`SrcId` response
+    /// ordering that retries must preserve).
+    pub fn acked_log(&self) -> &[u32] {
+        &self.acked_log
+    }
+
+    /// The driver's simulation clock (advanced by deliveries, execution,
+    /// timeouts and backoff).
+    pub fn clock_ps(&self) -> Picos {
+        self.clock_ps
     }
 
     /// The controller type this driver reports as.
@@ -94,6 +152,7 @@ impl CommandDriver {
     ) -> Result<CommandPacket, KernelError> {
         let packet = CommandPacket::new(self.src, rbb_id, instance, code).with_data(data);
         let bytes = packet.encode();
+        self.report.issued += 1;
         // Steps 2–3: transfer over the control queue and parse.
         self.total_latency_ps += self.engine.command_latency_ps(bytes.len() as u32);
         self.kernel.submit_bytes(&bytes)?;
@@ -110,7 +169,137 @@ impl CommandDriver {
             .expect("command was just submitted");
         let ops = self.kernel.reg_ops_executed() - before;
         self.total_latency_ps += UnifiedControlKernel::command_latency_ps(ops);
+        self.report.acked += 1;
         Ok(resp)
+    }
+
+    /// Fault-tolerant command issue: per-command deadline, bounded
+    /// retries with deterministic exponential backoff, idempotency
+    /// tagging so a retried command is replayed rather than re-executed.
+    ///
+    /// Every call converges: `Ok(response)` or a typed [`DriverError`] —
+    /// never a panic, never an un-accounted command.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Kernel`] for non-transient execution errors,
+    /// [`DriverError::GaveUp`] when the retry budget runs out,
+    /// [`DriverError::ResponsePath`] if the upload pipeline rejects a beat.
+    pub fn cmd_resilient(
+        &mut self,
+        rbb: RbbKind,
+        instance: u8,
+        code: CommandCode,
+        data: Vec<u32>,
+    ) -> Result<CommandPacket, DriverError> {
+        self.cmd_raw_resilient(rbb.id(), instance, code, data)
+    }
+
+    /// [`CommandDriver::cmd_resilient`] addressed by raw RBB id.
+    ///
+    /// # Errors
+    ///
+    /// See [`CommandDriver::cmd_resilient`].
+    pub fn cmd_raw_resilient(
+        &mut self,
+        rbb_id: u8,
+        instance: u8,
+        code: CommandCode,
+        data: Vec<u32>,
+    ) -> Result<CommandPacket, DriverError> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let packet = CommandPacket::new(self.src, rbb_id, instance, code)
+            .with_data(data)
+            .with_idempotency_tag(tag);
+        self.report.issued += 1;
+        self.issued.push(IssuedCommand {
+            rbb_id,
+            instance_id: instance,
+            code: code.to_u16(),
+        });
+        let mut attempt: u32 = 0;
+        loop {
+            let attempt_start = self.clock_ps;
+            let mut bytes = packet.encode();
+            match self.engine.command_delivery(bytes.len() as u32, attempt_start) {
+                CommandDelivery::Delivered { latency_ps } => {
+                    self.clock_ps += latency_ps;
+                    self.total_latency_ps += latency_ps;
+                }
+                CommandDelivery::Lost { latency_ps } => {
+                    // Nothing will ever arrive; wait out the deadline.
+                    self.clock_ps += latency_ps;
+                    self.timeout(attempt_start);
+                    self.retry_or_give_up(&mut attempt, &packet)?;
+                    continue;
+                }
+            }
+            // Wire corruption between the DMA engine and the kernel
+            // buffer: the kernel must NACK, not panic.
+            self.faults.corrupt_command(self.clock_ps, &mut bytes);
+            match self.kernel.submit_bytes_or_nack(&bytes, self.src) {
+                Err(e) => return Err(DriverError::Kernel(e)),
+                Ok(Some(_nack)) => {
+                    self.report.nacks += 1;
+                    self.retry_or_give_up(&mut attempt, &packet)?;
+                    continue;
+                }
+                Ok(None) => {}
+            }
+            let before = self.kernel.reg_ops_executed();
+            let resp = match self.kernel.step() {
+                Err(e) => return Err(DriverError::Kernel(e)),
+                // The command was accepted into an otherwise-drained
+                // buffer, so a response is structurally guaranteed.
+                Ok(r) => r.expect("command was just submitted"),
+            };
+            let ops = self.kernel.reg_ops_executed() - before;
+            let exec_ps = UnifiedControlKernel::command_latency_ps(ops);
+            self.clock_ps += exec_ps;
+            self.total_latency_ps += exec_ps;
+            // A lost completion interrupt: the command executed but the
+            // host never hears about it. The idempotency tag makes the
+            // retry safe — the kernel replays the cached response.
+            if self.faults.irq_lost(self.clock_ps) {
+                self.timeout(attempt_start);
+                self.retry_or_give_up(&mut attempt, &packet)?;
+                continue;
+            }
+            self.resp_pipe.push(self.clock_ps, tag)?;
+            let uploaded = self.resp_pipe.pop(self.clock_ps);
+            debug_assert_eq!(uploaded, Some(tag));
+            self.acked_log.push(tag);
+            self.report.acked += 1;
+            return Ok(resp);
+        }
+    }
+
+    /// Burns the remainder of the per-command deadline.
+    fn timeout(&mut self, attempt_start: Picos) {
+        self.report.timeouts += 1;
+        self.clock_ps = self.clock_ps.max(attempt_start + self.policy.deadline_ps);
+    }
+
+    fn retry_or_give_up(
+        &mut self,
+        attempt: &mut u32,
+        packet: &CommandPacket,
+    ) -> Result<(), DriverError> {
+        if *attempt >= self.policy.max_retries {
+            self.report.gave_up += 1;
+            return Err(DriverError::GaveUp {
+                rbb_id: packet.rbb_id,
+                instance_id: packet.instance_id,
+                code: packet.code.to_u16(),
+                attempts: *attempt + 1,
+                deadline_ps: self.policy.deadline_ps,
+            });
+        }
+        self.clock_ps += self.policy.backoff_ps(*attempt);
+        *attempt += 1;
+        self.report.retries += 1;
+        Ok(())
     }
 
     /// Initializes every module of a shell: exactly one `ModuleInit` per
@@ -128,6 +317,84 @@ impl CommandDriver {
             *n += 1;
         }
         Ok(())
+    }
+
+    /// Fault-tolerant shell bring-up with graceful degradation: every
+    /// module gets one idempotency-tagged `ModuleInit` through the retry
+    /// machinery. A module whose retry budget runs out is marked
+    /// [`harmonia_shell::RbbHealth::Degraded`] in the shell's health
+    /// ledger and its status register is set to [`DEGRADED_STATUS`]; the
+    /// remaining modules are still initialized — one dead MAC must not
+    /// take the whole shell down.
+    ///
+    /// Returns the number of modules successfully initialized.
+    ///
+    /// # Errors
+    ///
+    /// Only non-transient failures ([`DriverError::Kernel`],
+    /// [`DriverError::ResponsePath`]) propagate; give-ups degrade.
+    pub fn init_shell_resilient(
+        &mut self,
+        shell: &mut TailoredShell,
+    ) -> Result<usize, DriverError> {
+        let mut counters = std::collections::BTreeMap::new();
+        let modules: Vec<(u8, u8)> = shell
+            .rbbs()
+            .iter()
+            .map(|rbb| {
+                let id = rbb.kind().id();
+                let n: &mut u8 = counters.entry(id).or_insert(0);
+                let inst = *n;
+                *n += 1;
+                (id, inst)
+            })
+            .collect();
+        let mut initialized = 0;
+        for (id, inst) in modules {
+            match self.cmd_raw_resilient(id, inst, CommandCode::ModuleInit, Vec::new()) {
+                Ok(_) => initialized += 1,
+                Err(DriverError::GaveUp { .. }) => {
+                    shell.health_mut().mark_degraded(id, inst, self.clock_ps);
+                    // Publish the transition where stats readers see it.
+                    if let Ok(regs) = self.kernel.module_regs_mut(id, inst) {
+                        if let Some(addr) = regs.addr_of("status") {
+                            let _ = regs.hw_set(addr, DEGRADED_STATUS);
+                        }
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(initialized)
+    }
+
+    /// Reads statistics from every *serving* module (degraded modules are
+    /// skipped — their last published status word says why) plus board
+    /// health, through the resilient path.
+    ///
+    /// # Errors
+    ///
+    /// See [`CommandDriver::cmd_resilient`].
+    pub fn read_all_stats_resilient(
+        &mut self,
+        shell: &TailoredShell,
+    ) -> Result<Vec<u32>, DriverError> {
+        let mut out = Vec::new();
+        let mut counters = std::collections::BTreeMap::new();
+        for rbb in shell.rbbs() {
+            let id = rbb.kind().id();
+            let n: &mut u8 = counters.entry(id).or_insert(0);
+            let inst = *n;
+            *n += 1;
+            if shell.health().is_degraded(id, inst) {
+                continue;
+            }
+            let resp = self.cmd_raw_resilient(id, inst, CommandCode::StatsRead, Vec::new())?;
+            out.extend(resp.data);
+        }
+        let health = self.cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new())?;
+        out.extend(health.data);
+        Ok(out)
     }
 
     /// Reads all statistics: one `StatsRead` per module plus one board
@@ -296,5 +563,129 @@ mod tests {
             .cmd(RbbKind::Memory, 9, CommandCode::ModuleInit, Vec::new())
             .unwrap_err();
         assert!(matches!(err, KernelError::UnknownModule { .. }));
+    }
+
+    #[test]
+    fn resilient_path_without_faults_matches_legacy_report() {
+        use harmonia_sim::FaultPlan;
+        let (mut legacy, shell) = setup();
+        legacy.init_shell(&shell).unwrap();
+        let (mut resilient, shell2) = setup();
+        resilient.set_fault_injector(FaultPlan::none().injector());
+        let mut counters = std::collections::BTreeMap::new();
+        for rbb in shell2.rbbs() {
+            let id = rbb.kind().id();
+            let n: &mut u8 = counters.entry(id).or_insert(0);
+            resilient
+                .cmd_raw_resilient(id, *n, CommandCode::ModuleInit, Vec::new())
+                .unwrap();
+            *n += 1;
+        }
+        assert_eq!(legacy.report(), resilient.report());
+        assert_eq!(format!("{}", legacy.report()), format!("{}", resilient.report()));
+        assert!(resilient.report().converged());
+        assert_eq!(resilient.acked_log(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn lost_commands_retry_and_converge() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let (mut drv, _) = setup();
+        // First two transmissions are dropped; the third gets through.
+        drv.set_fault_injector(
+            FaultPlan::new()
+                .at(0, FaultKind::CmdDrop)
+                .at(1, FaultKind::CmdDrop)
+                .injector(),
+        );
+        let resp = drv
+            .cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new())
+            .unwrap();
+        assert_eq!(resp.data.len(), 4);
+        let r = drv.report();
+        assert!(r.retries >= 1, "{r}");
+        assert!(r.timeouts >= 1, "{r}");
+        assert!(r.converged(), "{r}");
+    }
+
+    #[test]
+    fn exhausted_retries_give_up_with_accounting() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let (mut drv, _) = setup();
+        // Link goes down and never comes back.
+        drv.set_fault_injector(FaultPlan::new().at(0, FaultKind::LinkDown).injector());
+        let err = drv
+            .cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new())
+            .unwrap_err();
+        match err {
+            DriverError::GaveUp { attempts, .. } => {
+                assert_eq!(attempts, drv.policy().max_retries + 1);
+            }
+            other => panic!("expected GaveUp, got {other:?}"),
+        }
+        let r = drv.report();
+        assert_eq!(r.gave_up, 1);
+        assert_eq!(r.timeouts, u64::from(drv.policy().max_retries) + 1);
+        assert!(r.converged(), "{r}");
+        // The clock advanced through every deadline and backoff.
+        assert!(drv.clock_ps() >= drv.policy().deadline_ps * 5);
+    }
+
+    #[test]
+    fn corrupted_wire_nacks_then_succeeds() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let (mut drv, _) = setup();
+        drv.set_fault_injector(FaultPlan::new().at(0, FaultKind::CmdCorrupt).injector());
+        let resp = drv
+            .cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new())
+            .unwrap();
+        assert_eq!(resp.data.len(), 4);
+        let r = drv.report();
+        assert_eq!(r.nacks, 1, "{r}");
+        assert_eq!(r.retries, 1, "{r}");
+        assert_eq!(drv.kernel().decode_errors(), 1);
+    }
+
+    #[test]
+    fn lost_irq_replays_instead_of_double_applying() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let (mut drv, _) = setup();
+        drv.set_fault_injector(FaultPlan::new().at(0, FaultKind::IrqLost).injector());
+        // ModuleInit is the side-effecting command the idempotency tags
+        // exist for.
+        let resp = drv
+            .cmd_resilient(RbbKind::Network, 0, CommandCode::ModuleInit, Vec::new())
+            .unwrap();
+        assert!(!resp.data.is_empty());
+        assert_eq!(drv.kernel().replays(), 1, "retry must replay, not re-run");
+        assert_eq!(drv.kernel().commands_executed(), 1);
+        assert_eq!(drv.report().timeouts, 1);
+    }
+
+    #[test]
+    fn degraded_module_does_not_block_the_rest() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let (mut drv, mut shell) = setup();
+        // Drop every transmission of the first module's init (5 attempts)
+        // then recover: module 1 degrades, modules 2 and 3 come up.
+        let mut plan = FaultPlan::new();
+        for i in 0..5 {
+            plan = plan.at(i, FaultKind::CmdDrop);
+        }
+        drv.set_fault_injector(plan.injector());
+        let initialized = drv.init_shell_resilient(&mut shell).unwrap();
+        assert_eq!(initialized, 2);
+        assert_eq!(shell.health().degraded_count(), 1);
+        assert_eq!(shell.serving_rbbs(), 2);
+        assert!(shell.to_string().contains("(1 degraded)"));
+        // The transition is visible through the normal stats path: the
+        // degraded module is skipped, the rest still report.
+        let stats = drv.read_all_stats_resilient(&shell).unwrap();
+        assert!(!stats.is_empty());
+        // And its status register says why.
+        let net_id = RbbKind::Network.id();
+        let regs = drv.kernel_mut().module_regs_mut(net_id, 0).unwrap();
+        let addr = regs.addr_of("status").unwrap();
+        assert_eq!(regs.read(addr).unwrap(), DEGRADED_STATUS);
     }
 }

@@ -7,7 +7,23 @@
 //! share the data queues, where they wait behind buffered data.
 
 use harmonia_hw::ip::PcieDmaIp;
-use harmonia_sim::{Picos, Throughput};
+use harmonia_sim::{FaultInjector, Picos, Throughput};
+
+/// Outcome of shipping one command packet through the control queue.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CommandDelivery {
+    /// The packet reached the device buffer after `latency_ps`.
+    Delivered {
+        /// Time spent on the wire (including any injected credit stall).
+        latency_ps: Picos,
+    },
+    /// The packet was lost in flight (link down or an injected drop); the
+    /// driver learns nothing until its deadline expires.
+    Lost {
+        /// Time spent before the loss (charged to the driver's clock).
+        latency_ps: Picos,
+    },
+}
 
 /// The host-side DMA engine.
 #[derive(Debug)]
@@ -18,6 +34,7 @@ pub struct DmaEngine {
     data_backlog_bytes: u64,
     data_sent: Throughput,
     commands_sent: u64,
+    faults: FaultInjector,
 }
 
 impl DmaEngine {
@@ -30,7 +47,19 @@ impl DmaEngine {
             data_backlog_bytes: 0,
             data_sent: Throughput::new(),
             commands_sent: 0,
+            faults: FaultInjector::none(),
         }
+    }
+
+    /// Attaches a fault injector to the control queue (clones share the
+    /// plan's state, so one schedule drives every layer consistently).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// The attached fault injector (no-op by default).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Disables control-queue isolation (ablation baseline: commands share
@@ -96,6 +125,32 @@ impl DmaEngine {
     pub fn commands_sent(&self) -> u64 {
         self.commands_sent
     }
+
+    /// Ships one command through the fault plane at simulation time
+    /// `now`: an injected PCIe credit stall stretches the latency; a
+    /// down link or an injected drop loses the packet outright. With the
+    /// no-op injector this is [`DmaEngine::command_latency_ps`] wrapped
+    /// in [`CommandDelivery::Delivered`] — bit-identical timing.
+    pub fn command_delivery(&mut self, cmd_bytes: u32, now: Picos) -> CommandDelivery {
+        let mut latency_ps = self.command_latency_ps(cmd_bytes);
+        if self.faults.is_active() {
+            let stall = self.faults.take_stall_beats(now);
+            if stall > 0 {
+                latency_ps += stall * self.credit_beat_ps();
+            }
+            if !self.faults.link_up(now) || self.faults.drop_command(now) {
+                return CommandDelivery::Lost { latency_ps };
+            }
+        }
+        CommandDelivery::Delivered { latency_ps }
+    }
+
+    /// Wire time of one 32-byte credit beat at the bulk transfer rate —
+    /// the unit an injected `PcieCreditStall` is priced in.
+    fn credit_beat_ps(&self) -> Picos {
+        let bw = self.dma.throughput_gbs(4096); // GB/s == B/ns
+        (32.0 / bw * 1e3) as Picos
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +207,46 @@ mod tests {
         e.command_latency_ps(64);
         e.command_latency_ps(64);
         assert_eq!(e.commands_sent(), 2);
+    }
+
+    #[test]
+    fn faultless_delivery_matches_plain_latency() {
+        let mut plain = engine();
+        let mut faulty = engine();
+        let expect = plain.command_latency_ps(64);
+        assert_eq!(
+            faulty.command_delivery(64, 0),
+            CommandDelivery::Delivered { latency_ps: expect }
+        );
+    }
+
+    #[test]
+    fn stall_drop_and_link_faults_shape_delivery() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let mut e = engine();
+        e.set_fault_injector(
+            FaultPlan::new()
+                .at(0, FaultKind::PcieCreditStall { beats: 1000 })
+                .at(100, FaultKind::CmdDrop)
+                .at(200, FaultKind::LinkDown)
+                .injector(),
+        );
+        let clean = engine().command_latency_ps(64);
+        // Stall: delivered, but slower.
+        match e.command_delivery(64, 0) {
+            CommandDelivery::Delivered { latency_ps } => assert!(latency_ps > clean),
+            lost => panic!("stall must not lose the packet: {lost:?}"),
+        }
+        // Armed drop: lost.
+        assert!(matches!(
+            e.command_delivery(64, 100),
+            CommandDelivery::Lost { .. }
+        ));
+        // Link down: every packet lost until LinkUp.
+        assert!(matches!(
+            e.command_delivery(64, 250),
+            CommandDelivery::Lost { .. }
+        ));
+        assert_eq!(e.faults().report().cmd_drops, 1);
     }
 }

@@ -17,7 +17,10 @@
 //! * [`tool`] — the standalone control tool (one of the multiple
 //!   controllers production servers run concurrently);
 //! * [`irq`] — interrupt moderation for the latency-critical `irq` unified
-//!   type (coalescing windows and batch thresholds).
+//!   type (coalescing windows and batch thresholds);
+//! * [`resilience`] — per-command deadlines, bounded retries with
+//!   deterministic backoff, and the [`resilience::DriverReport`] failure
+//!   accounting the fault campaigns assert over.
 
 pub mod bmc;
 pub mod cmd_driver;
@@ -25,11 +28,13 @@ pub mod dma;
 pub mod irq;
 pub mod migration;
 pub mod reg_driver;
+pub mod resilience;
 pub mod tool;
 
 pub use bmc::{BmcController, BmcPolicy, BmcStatus};
-pub use cmd_driver::CommandDriver;
-pub use dma::DmaEngine;
+pub use cmd_driver::{CommandDriver, DEGRADED_STATUS};
+pub use dma::{CommandDelivery, DmaEngine};
+pub use resilience::{DriverError, DriverReport, RetryPolicy};
 pub use irq::{IrqModeration, IrqModerator};
 pub use migration::{migration_report, MigrationReport};
 pub use reg_driver::RegisterDriver;

@@ -54,6 +54,13 @@ impl DdrIp {
     pub fn peak_gbs(&self) -> f64 {
         self.timing().peak_gbs()
     }
+
+    /// Latency cost of a corrected ECC hit on this controller (see
+    /// `DramTiming::ecc_scrub_penalty_ps`; fault-aware accesses go
+    /// through `DramModel::access_with_faults` on [`DdrIp::channel`]).
+    pub fn ecc_scrub_penalty_ps(&self) -> harmonia_sim::Picos {
+        self.timing().ecc_scrub_penalty_ps()
+    }
 }
 
 impl VendorIp for DdrIp {

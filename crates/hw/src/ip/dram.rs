@@ -10,7 +10,7 @@
 //! results: sequential ≫ random throughput (Figs 10c, 18c) and the benefit
 //! of interleaving (ablation benches).
 
-use harmonia_sim::Picos;
+use harmonia_sim::{FaultInjector, Picos};
 use std::collections::VecDeque;
 
 /// One memory operation presented to the controller.
@@ -125,6 +125,12 @@ impl DramTiming {
     /// Theoretical peak bandwidth in GB/s.
     pub fn peak_gbs(&self) -> f64 {
         self.burst_bytes as f64 / (self.burst_ps as f64 / 1e3) // B/ns == GB/s
+    }
+
+    /// Latency cost of one corrected ECC hit: scrub the word and replay
+    /// the column access (CAS + re-activated row + one burst).
+    pub fn ecc_scrub_penalty_ps(&self) -> Picos {
+        self.cas_ps + self.row_miss_extra_ps + self.burst_ps
     }
 }
 
@@ -243,6 +249,26 @@ impl DramModel {
         self.last_group = Some(group);
         self.last_was_write = Some(op.is_write);
         done
+    }
+
+    /// [`DramModel::access`] through the fault plane: if the injector
+    /// fires an ECC hit for this access, completion is delayed by the
+    /// scrub-and-replay penalty (the data is corrected, not lost). With
+    /// the no-op injector this is exactly `access`.
+    pub fn access_with_faults(
+        &mut self,
+        issue_ps: Picos,
+        op: MemOp,
+        faults: &FaultInjector,
+    ) -> Picos {
+        let done = self.access(issue_ps, op);
+        if faults.ecc_error(done) {
+            let scrubbed = done + self.timing.ecc_scrub_penalty_ps();
+            self.bus_free_ps = self.bus_free_ps.max(scrubbed);
+            scrubbed
+        } else {
+            done
+        }
     }
 
     /// Runs a whole trace as a saturated in-order queue; returns
@@ -414,5 +440,35 @@ mod tests {
         let done = m.access(0, MemOp::read(0, 64));
         let t = DramTiming::ddr4_2400();
         assert_eq!(done, t.row_miss_extra_ps + t.cas_ps + t.burst_ps);
+    }
+
+    #[test]
+    fn faultless_access_is_bit_identical_to_plain() {
+        use harmonia_sim::FaultInjector;
+        let none = FaultInjector::none();
+        let mut plain = DramModel::new(DramTiming::ddr4_2400());
+        let mut faulty = DramModel::new(DramTiming::ddr4_2400());
+        let mut addr = 3u64;
+        for i in 0..500 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(i);
+            let op = MemOp::read(addr % (1 << 30), 64);
+            assert_eq!(plain.access(0, op), faulty.access_with_faults(0, op, &none));
+        }
+    }
+
+    #[test]
+    fn scheduled_ecc_hit_pays_scrub_penalty() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let t = DramTiming::ddr4_2400();
+        // Fire the ECC event at time 0 so the first completing access eats it.
+        let inj = FaultPlan::new().at(0, FaultKind::EccError).injector();
+        let mut m = DramModel::new(DramTiming::ddr4_2400());
+        let clean = t.row_miss_extra_ps + t.cas_ps + t.burst_ps;
+        let done = m.access_with_faults(0, MemOp::read(0, 64), &inj);
+        assert_eq!(done, clean + t.ecc_scrub_penalty_ps());
+        assert_eq!(inj.report().ecc_errors, 1);
+        // The event is one-shot: the next access is clean again.
+        let next = m.access_with_faults(done, MemOp::read(0, 64), &inj);
+        assert!(next < done + clean + t.ecc_scrub_penalty_ps());
     }
 }

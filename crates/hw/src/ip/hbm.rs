@@ -48,13 +48,25 @@ impl HbmIp {
         ops: I,
         stripe_bytes: u64,
     ) -> (Picos, u64) {
+        self.run_striped_trace_with_faults(ops, stripe_bytes, &harmonia_sim::FaultInjector::none())
+    }
+
+    /// [`HbmIp::run_striped_trace`] through the fault plane: each access
+    /// consults the injector and pays the ECC scrub penalty when a hit
+    /// fires. The no-op injector reproduces `run_striped_trace` exactly.
+    pub fn run_striped_trace_with_faults<I: IntoIterator<Item = MemOp>>(
+        &self,
+        ops: I,
+        stripe_bytes: u64,
+        faults: &harmonia_sim::FaultInjector,
+    ) -> (Picos, u64) {
         assert!(stripe_bytes > 0, "stripe size must be non-zero");
         let mut channels = self.channels();
         let mut now = vec![0u64; channels.len()];
         let mut bytes = 0u64;
         for op in ops {
             let ch = ((op.addr / stripe_bytes) % u64::from(Self::CHANNELS)) as usize;
-            now[ch] = channels[ch].access(now[ch], op);
+            now[ch] = channels[ch].access_with_faults(now[ch], op, faults);
             bytes += u64::from(op.bytes);
         }
         (now.into_iter().max().unwrap_or(0), bytes)
@@ -181,5 +193,29 @@ mod tests {
         let rf = HbmIp::new(Vendor::Xilinx).register_map();
         assert!(rf.addr_of("ch_enable_31").is_some());
         assert!(rf.addr_of("ch_stat_31").is_some());
+    }
+
+    #[test]
+    fn ecc_hits_stretch_the_striped_trace() {
+        use harmonia_sim::{FaultPlan, FaultRates};
+        let hbm = HbmIp::new(Vendor::Xilinx);
+        let ops = || (0..2_000u64).map(|i| MemOp::read(i * 64, 64));
+        let (clean, bytes) = hbm.run_striped_trace(ops(), 256);
+        let faulty_inj = FaultPlan::new()
+            .with_rates(
+                7,
+                FaultRates {
+                    ecc: 0.2,
+                    ..FaultRates::default()
+                },
+            )
+            .injector();
+        let (faulty, fbytes) = hbm.run_striped_trace_with_faults(ops(), 256, &faulty_inj);
+        assert_eq!(bytes, fbytes);
+        assert!(faulty > clean, "ECC hits must cost time: {faulty} vs {clean}");
+        assert!(faulty_inj.report().ecc_errors > 0);
+        // The explicit no-op injector reproduces the plain trace exactly.
+        let none = harmonia_sim::FaultInjector::none();
+        assert_eq!(hbm.run_striped_trace_with_faults(ops(), 256, &none), (clean, bytes));
     }
 }

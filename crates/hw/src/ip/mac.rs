@@ -10,7 +10,7 @@ use crate::ip::{IpKind, VendorIp};
 use crate::regfile::{Access, RegOp, RegisterFile};
 use crate::resource::ResourceUsage;
 use crate::vendor::Vendor;
-use harmonia_sim::{Freq, Picos};
+use harmonia_sim::{FaultInjector, Freq, Picos};
 
 /// Ethernet wire overhead per frame: 7 B preamble + 1 B SFD + 12 B IFG.
 pub const WIRE_OVERHEAD_BYTES: u32 = 20;
@@ -72,6 +72,22 @@ impl MacIp {
         let wire_ps =
             (u64::from(frame_bytes) * 8 * 1000) / u64::from(self.speed_gbps); // bits / Gbps → ps
         wire_ps + 2 * self.pipeline_latency_ps()
+    }
+
+    /// Receives one frame through the fault plane at absolute time `now`:
+    /// `Some(completion delay)` normally, `None` when the injector holds
+    /// the link down (the frame is lost on the wire). With the no-op
+    /// injector this is exactly `Some(loopback_latency_ps(frame_bytes))`.
+    pub fn rx_frame_with_faults(
+        &self,
+        frame_bytes: u32,
+        faults: &FaultInjector,
+        now: Picos,
+    ) -> Option<Picos> {
+        if !faults.link_up(now) {
+            return None;
+        }
+        Some(self.loopback_latency_ps(frame_bytes))
     }
 
     fn stat_counter_count(&self) -> u32 {
@@ -347,5 +363,24 @@ mod tests {
         assert!(rf.len() > 80);
         assert!(rf.addr_of("stat_rx_0").is_some());
         assert!(rf.addr_of("stat_tx_41").is_some());
+    }
+
+    #[test]
+    fn link_flap_loses_frames_in_the_window() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let mac = MacIp::new(Vendor::Xilinx, 100);
+        let inj = FaultPlan::new()
+            .at(1_000_000, FaultKind::LinkDown)
+            .at(2_000_000, FaultKind::LinkUp)
+            .injector();
+        assert_eq!(
+            mac.rx_frame_with_faults(1500, &inj, 0),
+            Some(mac.loopback_latency_ps(1500))
+        );
+        assert_eq!(mac.rx_frame_with_faults(1500, &inj, 1_500_000), None);
+        assert!(mac.rx_frame_with_faults(1500, &inj, 2_000_000).is_some());
+        // The no-op injector never drops.
+        let none = FaultPlan::none().injector();
+        assert!(mac.rx_frame_with_faults(64, &none, 1_500_000).is_some());
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod cdc;
 pub mod datapath;
+pub mod health;
 pub mod pr;
 pub mod rbb;
 pub mod role;
@@ -40,6 +41,7 @@ pub mod unified;
 
 pub use cdc::ParamCdc;
 pub use datapath::{DatapathReport, DatapathSim};
+pub use health::{HealthLedger, RbbHealth};
 pub use pr::{MultiTenantRegion, TenancyError, TenantRole};
 pub use rbb::{MigrationKind, Rbb, RbbKind};
 pub use role::{MemoryDemand, RoleSpec};

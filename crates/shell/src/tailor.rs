@@ -13,6 +13,7 @@
 //! The result is the role-specific shell of Figures 11 (resource savings)
 //! and 12 (configuration reduction).
 
+use crate::health::HealthLedger;
 use crate::rbb::{HostRbb, MemoryRbb, MigrationKind, NetworkRbb, Rbb, RbbKind};
 use crate::role::{MemoryDemand, RoleSpec};
 use crate::unified::{management_components, UnifiedShell};
@@ -87,6 +88,7 @@ pub struct TailoredShell {
     device_name: String,
     rbbs: Vec<Box<dyn Rbb>>,
     mgmt_resources: ResourceUsage,
+    health: HealthLedger,
 }
 
 impl TailoredShell {
@@ -201,6 +203,7 @@ impl TailoredShell {
             device_name: device.name().to_string(),
             rbbs,
             mgmt_resources,
+            health: HealthLedger::new(),
         };
 
         let required =
@@ -235,6 +238,22 @@ impl TailoredShell {
             .iter()
             .filter(move |r| r.kind() == kind)
             .map(|r| r.as_ref())
+    }
+
+    /// The shell's module-health ledger (graceful degradation: a module
+    /// the driver gave up on is out of service, the rest keep serving).
+    pub fn health(&self) -> &HealthLedger {
+        &self.health
+    }
+
+    /// Mutable health ledger, for the host driver's failure handling.
+    pub fn health_mut(&mut self) -> &mut HealthLedger {
+        &mut self.health
+    }
+
+    /// RBBs still in service (total minus degraded modules).
+    pub fn serving_rbbs(&self) -> usize {
+        self.rbbs.len().saturating_sub(self.health.degraded_count())
     }
 
     /// Total shell resources after tailoring.
@@ -298,7 +317,11 @@ impl fmt::Display for TailoredShell {
             self.role_name,
             self.device_name,
             self.rbbs.len()
-        )
+        )?;
+        if self.health.degraded_count() > 0 {
+            write!(f, " ({} degraded)", self.health.degraded_count())?;
+        }
+        Ok(())
     }
 }
 
@@ -476,5 +499,23 @@ mod tests {
         let t = TailoredShell::tailor(&u, &netrole()).unwrap();
         let s = t.to_string();
         assert!(s.contains("netrole") && s.contains("Device A"));
+    }
+
+    #[test]
+    fn degraded_module_leaves_the_rest_serving() {
+        let u = unified_a();
+        let mut t = TailoredShell::tailor(&u, &netrole()).unwrap();
+        let total = t.rbbs().len();
+        assert_eq!(t.serving_rbbs(), total);
+        assert!(t
+            .health_mut()
+            .mark_degraded(RbbKind::Network.id(), 1, 7_000));
+        assert_eq!(t.serving_rbbs(), total - 1);
+        assert!(t.health().is_degraded(RbbKind::Network.id(), 1));
+        assert!(!t.health().is_degraded(RbbKind::Network.id(), 0));
+        assert!(t.to_string().contains("(1 degraded)"));
+        t.health_mut().restore(RbbKind::Network.id(), 1);
+        assert_eq!(t.serving_rbbs(), total);
+        assert!(!t.to_string().contains("degraded"));
     }
 }

@@ -5,6 +5,8 @@
 //! command queues in the unified control kernel, and the per-queue buffers
 //! of the Host RBB.
 
+use crate::fault::FaultInjector;
+use crate::time::Picos;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -23,6 +25,15 @@ impl<T> fmt::Display for FifoFullError<T> {
 }
 
 impl<T: fmt::Debug> Error for FifoFullError<T> {}
+
+/// What became of a beat offered via [`SyncFifo::push_with_faults`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BeatFate {
+    /// The beat was stored normally.
+    Stored,
+    /// An injected ECC hit discarded the beat (counted as rejected).
+    Discarded,
+}
 
 /// A bounded FIFO within a single clock domain.
 ///
@@ -77,6 +88,32 @@ impl<T> SyncFifo<T> {
         self.total_pushes += 1;
         self.max_occupancy = self.max_occupancy.max(self.buf.len());
         Ok(())
+    }
+
+    /// Enqueues an item through the fault plane: an [`FaultInjector`]
+    /// ECC hit on the FIFO memory discards the beat (tallied in
+    /// [`SyncFifo::rejected`]) instead of storing a corrupt word. With
+    /// the no-op injector this is exactly [`SyncFifo::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] containing the item when the FIFO is
+    /// full (backpressure precedes the memory, so full wins over ECC).
+    pub fn push_with_faults(
+        &mut self,
+        item: T,
+        faults: &FaultInjector,
+        now: Picos,
+    ) -> Result<BeatFate, FifoFullError<T>> {
+        if self.buf.len() == self.capacity {
+            self.rejected += 1;
+            return Err(FifoFullError(item));
+        }
+        if faults.ecc_error(now) {
+            self.rejected += 1;
+            return Ok(BeatFate::Discarded);
+        }
+        self.push(item).map(|()| BeatFate::Stored)
     }
 
     /// Dequeues the oldest item, if any.
@@ -211,6 +248,29 @@ mod tests {
         assert_eq!(f.drain(), vec![1, 2, 3]);
         assert!(f.is_empty());
         assert_eq!(f.total_pops(), 3);
+    }
+
+    #[test]
+    fn faulty_push_matches_plain_push_with_no_plan() {
+        use crate::fault::FaultPlan;
+        let inj = FaultPlan::none().injector();
+        let mut f = SyncFifo::new(2);
+        assert_eq!(f.push_with_faults(1, &inj, 0), Ok(BeatFate::Stored));
+        assert_eq!(f.push_with_faults(2, &inj, 10), Ok(BeatFate::Stored));
+        assert_eq!(f.push_with_faults(3, &inj, 20), Err(FifoFullError(3)));
+        assert_eq!(f.drain(), vec![1, 2]);
+    }
+
+    #[test]
+    fn ecc_hit_discards_the_beat() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let inj = FaultPlan::new().at(5, FaultKind::EccError).injector();
+        let mut f = SyncFifo::new(4);
+        assert_eq!(f.push_with_faults(1, &inj, 0), Ok(BeatFate::Stored));
+        assert_eq!(f.push_with_faults(2, &inj, 5), Ok(BeatFate::Discarded));
+        assert_eq!(f.push_with_faults(3, &inj, 6), Ok(BeatFate::Stored));
+        assert_eq!(f.rejected(), 1);
+        assert_eq!(f.drain(), vec![1, 3]);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 pub mod async_fifo;
 pub mod edges;
 pub mod exec;
+pub mod fault;
 pub mod fifo;
 pub mod pipeline;
 pub mod rng;
@@ -37,7 +38,8 @@ pub mod time;
 pub use async_fifo::AsyncFifo;
 pub use edges::{ClockEdge, MultiClock};
 pub use exec::WorkerPool;
-pub use fifo::{FifoFullError, SyncFifo};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultReport};
+pub use fifo::{BeatFate, FifoFullError, SyncFifo};
 pub use pipeline::{Pipeline, PushError};
 pub use rng::SplitMix64;
 pub use stats::{LatencyStats, Throughput};

@@ -123,6 +123,27 @@ forall! {
         }
         prop_assert_eq!(out, pushed);
     }
+
+    /// A same-or-earlier-cycle push always fails, returning the offending
+    /// item and both cycles — the data the host driver surfaces as
+    /// `DriverError::ResponsePath` instead of panicking.
+    #[test]
+    fn pipeline_push_error_reports_both_cycles(
+        lat in 0u64..16,
+        first in 1u64..1_000_000,
+        back in 0u64..1_000,
+    ) {
+        let mut p = Pipeline::new(lat);
+        p.push(first, 7u32).unwrap();
+        let offending = first.saturating_sub(back); // <= first, always rejected
+        let err = p.push(offending, 9u32).unwrap_err();
+        prop_assert_eq!(err.item, 9);
+        prop_assert_eq!(err.cycle, offending);
+        prop_assert_eq!(err.last_push_cycle, first);
+        // The rejected push leaves the pipeline untouched.
+        prop_assert_eq!(p.pop(first + lat), Some(7));
+        prop_assert_eq!(p.pop(first + lat + 1), None);
+    }
 }
 
 /// When write bandwidth equals read bandwidth (S×M = R×U in the paper's
