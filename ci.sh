@@ -20,6 +20,12 @@ HARMONIA_THREADS=1 cargo test -q --workspace --offline --locked
 echo "==> tier-1: test suite (default parallelism)"
 cargo test -q --workspace --offline --locked
 
+echo "==> docs: rustdoc builds with zero warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --locked
+
+echo "==> docs: doctests"
+cargo test -q --doc --workspace --offline --locked
+
 echo "==> benches compile"
 cargo bench --no-run --workspace --offline --locked
 

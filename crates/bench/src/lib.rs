@@ -18,6 +18,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod tables;
+pub mod trace_run;
 
 /// Every table of the evaluation, in the paper's order.
 ///

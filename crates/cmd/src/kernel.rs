@@ -18,7 +18,7 @@ use std::collections::btree_map::Entry;
 use harmonia_hw::regfile::{RegOp, RegisterFile};
 use harmonia_hw::resource::ResourceUsage;
 use harmonia_shell::rbb::Rbb;
-use harmonia_sim::{Picos, SyncFifo};
+use harmonia_sim::{Picos, SyncFifo, TraceCollector, TraceEventKind};
 use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -129,6 +129,12 @@ pub struct UnifiedControlKernel {
     idem_order: VecDeque<(u8, u32)>,
     decode_errors: u64,
     replays: u64,
+    /// Observability handle (disabled by default — zero cost). Purely
+    /// observational: recording never feeds back into execution.
+    trace: TraceCollector,
+    /// Trace-only clock: advanced by executed-command latencies and
+    /// synced forward by the driver. Never consulted by execution logic.
+    trace_clock_ps: Picos,
 }
 
 impl fmt::Debug for UnifiedControlKernel {
@@ -174,7 +180,25 @@ impl UnifiedControlKernel {
             idem_order: VecDeque::new(),
             decode_errors: 0,
             replays: 0,
+            trace: TraceCollector::disabled(),
+            trace_clock_ps: 0,
         }
+    }
+
+    /// Attaches an observability collector: the kernel emits
+    /// [`TraceEventKind::KernelExec`] spans, replay/NACK instants and
+    /// buffer-stall events into it. Disabled collectors cost one branch
+    /// per hook.
+    pub fn set_trace_collector(&mut self, trace: TraceCollector) {
+        self.trace = trace;
+    }
+
+    /// Advances the kernel's trace-only clock to `now` (the driver calls
+    /// this with its own clock before submitting, so kernel-side events
+    /// line up with driver-side events on one timeline). Never moves
+    /// backwards; has no effect on execution.
+    pub fn sync_clock(&mut self, now: Picos) {
+        self.trace_clock_ps = self.trace_clock_ps.max(now);
     }
 
     /// Registers a handler for an extension command code (≥ 0x0010; the
@@ -263,6 +287,12 @@ impl UnifiedControlKernel {
             }
             Err(e) => {
                 self.decode_errors += 1;
+                self.trace.instant(
+                    self.trace_clock_ps,
+                    TraceEventKind::CmdNack {
+                        error_code: e.code(),
+                    },
+                );
                 let nack = CommandPacket {
                     version: VERSION,
                     src: reply_to,
@@ -285,7 +315,7 @@ impl UnifiedControlKernel {
     /// [`KernelError::BufferFull`] under backpressure.
     pub fn submit(&mut self, packet: CommandPacket) -> Result<(), KernelError> {
         self.buffer
-            .push(packet)
+            .push_traced(packet, &self.trace, self.trace_clock_ps)
             .map_err(|_| KernelError::BufferFull)
     }
 
@@ -311,11 +341,28 @@ impl UnifiedControlKernel {
         if let Some(key) = idem_key {
             if let Some(cached) = self.idem_cache.get(&key) {
                 self.replays += 1;
+                self.trace.instant(
+                    self.trace_clock_ps,
+                    TraceEventKind::KernelReplay {
+                        code: packet.code.to_u16(),
+                    },
+                );
                 return Ok(Some(cached.clone()));
             }
         }
+        let ops_before = self.reg_ops_executed;
         let data = self.execute(&packet)?;
         self.commands_executed += 1;
+        let exec_ps = Self::command_latency_ps(self.reg_ops_executed - ops_before);
+        self.trace.span(
+            self.trace_clock_ps,
+            exec_ps,
+            TraceEventKind::KernelExec {
+                code: packet.code.to_u16(),
+                reg_ops: self.reg_ops_executed - ops_before,
+            },
+        );
+        self.trace_clock_ps += exec_ps;
         let response = packet.response(data);
         if let Some(key) = idem_key {
             if self.idem_order.len() == Self::IDEM_CACHE_DEPTH {
@@ -868,6 +915,52 @@ mod tests {
         k.step().unwrap().unwrap();
         assert_eq!(k.commands_executed(), execs + 1);
         assert_eq!(k.replays(), 0);
+    }
+
+    #[test]
+    fn traced_kernel_emits_exec_replay_and_nack_events() {
+        use harmonia_sim::TraceEventKind;
+        let mut k = kernel_on_device_a();
+        let tc = harmonia_sim::TraceCollector::enabled();
+        k.set_trace_collector(tc.clone());
+        // Normal execution → one KernelExec span.
+        k.submit(net_cmd(CommandCode::ModuleStatusRead)).unwrap();
+        k.step().unwrap().unwrap();
+        // Replay of an idempotent retry → KernelReplay instant.
+        let tagged = net_cmd(CommandCode::ModuleInit).with_idempotency_tag(1);
+        k.submit(tagged.clone()).unwrap();
+        k.step().unwrap().unwrap();
+        k.submit(tagged).unwrap();
+        k.step().unwrap().unwrap();
+        // Corrupt bytes → CmdNack instant.
+        let mut bytes = net_cmd(CommandCode::ModuleStatusRead).encode();
+        bytes[15] ^= 0xFF;
+        k.submit_bytes_or_nack(&bytes, SrcId::Application).unwrap();
+        let trace = tc.take();
+        let names: Vec<&str> = trace.events().iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"kernel-exec"));
+        assert!(names.contains(&"kernel-replay"));
+        assert!(names.contains(&"cmd-nack"));
+        let execs = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::KernelExec { .. }))
+            .count();
+        assert_eq!(execs, 2, "status read + first init");
+    }
+
+    #[test]
+    fn untraced_kernel_behaves_identically() {
+        let run = |traced: bool| {
+            let mut k = kernel_on_device_a();
+            if traced {
+                k.set_trace_collector(harmonia_sim::TraceCollector::enabled());
+            }
+            k.submit(net_cmd(CommandCode::ModuleInit)).unwrap();
+            let resp = k.step().unwrap().unwrap();
+            (resp, k.commands_executed(), k.reg_ops_executed())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -36,6 +36,29 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Map of the repository
+//!
+//! Dependency order is strictly bottom-up; every workspace crate is
+//! re-exported here under the alias in the first column.
+//!
+//! | Alias | Paper layer | Contents |
+//! |---|---|---|
+//! | [`sim`] | substrate | picosecond timeline, clock domains, FIFOs/CDC, pipelines, the scoped worker pool ([`sim::exec`]), the fault plane ([`sim::fault`]), trace collection ([`sim::trace`]) and latency histograms ([`sim::histo`]) |
+//! | [`hw`] | substrate | Table 2 device catalog, resource model, AXI/Avalon interface specs, register files, vendor IP models (MAC, PCIe DMA, DDR, HBM) |
+//! | [`metrics`] | evaluation | workload/config/diff accounting, fleet model, report tables |
+//! | [`platform`] | platform-specific (§3.2) | device + vendor adapters, lightweight interface wrappers over the six unified types |
+//! | [`shell`] | platform-independent (§3.3) | Network/Memory/Host RBBs, parameterized CDC, unified shell, hierarchical tailoring, health ledger |
+//! | [`cmd`] | platform-independent (§3.3.3) | command packets (Fig. 9), command codes, the unified control kernel |
+//! | [`host`] | platform-independent | register vs. command drivers, DMA engine with isolated control queue, retry/backoff resilience, control tool, BMC, irq moderation |
+//! | [`workloads`] | evaluation | seeded packet/memory/matmul/vector-DB/TCP generators |
+//! | [`frameworks`] | evaluation | Vitis / oneAPI / Coyote baseline models |
+//! | [`apps`] | applications | the five production applications plus the storage offload |
+//!
+//! Beside the stack (not re-exported): `harmonia-testkit` — the hermetic
+//! property-testing/bench substrate used by every crate's tests — and
+//! `harmonia-bench` — one generator per paper figure/table, the `paper`
+//! and `trace` binaries, and the byte-equivalence test suites.
 
 pub mod framework;
 pub mod project;

@@ -12,7 +12,9 @@ use crate::resilience::{DriverError, DriverReport, RetryPolicy};
 use harmonia_cmd::{CommandCode, CommandPacket, KernelError, SrcId, UnifiedControlKernel};
 use harmonia_shell::rbb::RbbKind;
 use harmonia_shell::TailoredShell;
-use harmonia_sim::{FaultInjector, Picos, Pipeline};
+use harmonia_sim::{
+    FaultInjector, LogHistogram, Picos, Pipeline, TraceCollector, TraceEventKind,
+};
 use std::collections::BTreeSet;
 
 /// Status-register value published for a module the driver took out of
@@ -50,6 +52,9 @@ pub struct CommandDriver {
     /// responses within one `SrcId`.
     acked_log: Vec<u32>,
     clock_ps: Picos,
+    trace: TraceCollector,
+    /// Issue→ack latency of every completed command, log-bucketed.
+    latency_histo: LogHistogram,
 }
 
 impl CommandDriver {
@@ -60,7 +65,7 @@ impl CommandDriver {
 
     /// Creates a driver for a specific controller type.
     pub fn with_src(src: SrcId, engine: DmaEngine, kernel: UnifiedControlKernel) -> Self {
-        CommandDriver {
+        let mut driver = CommandDriver {
             src,
             engine,
             kernel,
@@ -73,7 +78,34 @@ impl CommandDriver {
             resp_pipe: Pipeline::new(0),
             acked_log: Vec::new(),
             clock_ps: 0,
-        }
+            trace: TraceCollector::disabled(),
+            latency_histo: LogHistogram::new(),
+        };
+        driver.set_trace_collector(TraceCollector::from_env());
+        driver
+    }
+
+    /// Attaches an observability collector to this driver *and* its DMA
+    /// engine and kernel (clones share one buffer, so the whole command
+    /// path lands on a single timeline). [`CommandDriver::with_src`]
+    /// consults [`harmonia_sim::trace::TRACE_ENV`] automatically; call
+    /// this to override.
+    pub fn set_trace_collector(&mut self, trace: TraceCollector) {
+        self.engine.set_trace_collector(trace.clone());
+        self.kernel.set_trace_collector(trace.clone());
+        self.trace = trace;
+    }
+
+    /// The driver's observability collector (disabled unless attached or
+    /// enabled via `HARMONIA_TRACE`).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
+    }
+
+    /// Issue→ack latency histogram over every completed command (both the
+    /// legacy and the resilient path).
+    pub fn latency_histogram(&self) -> &LogHistogram {
+        &self.latency_histo
     }
 
     /// Attaches a fault injector to this driver *and* its DMA engine
@@ -153,8 +185,20 @@ impl CommandDriver {
         let packet = CommandPacket::new(self.src, rbb_id, instance, code).with_data(data);
         let bytes = packet.encode();
         self.report.issued += 1;
+        // The legacy path keeps no real clock; accumulated latency is the
+        // monotone pseudo-time its trace events are stamped with.
+        let cmd_start = self.total_latency_ps;
+        self.trace.instant(
+            cmd_start,
+            TraceEventKind::CmdIssue {
+                code: code.to_u16(),
+                rbb_id,
+                instance_id: instance,
+            },
+        );
         // Steps 2–3: transfer over the control queue and parse.
         self.total_latency_ps += self.engine.command_latency_ps(bytes.len() as u32);
+        self.kernel.sync_clock(self.total_latency_ps);
         self.kernel.submit_bytes(&bytes)?;
         self.issued.push(IssuedCommand {
             rbb_id,
@@ -170,6 +214,15 @@ impl CommandDriver {
         let ops = self.kernel.reg_ops_executed() - before;
         self.total_latency_ps += UnifiedControlKernel::command_latency_ps(ops);
         self.report.acked += 1;
+        self.trace.span(
+            cmd_start,
+            self.total_latency_ps - cmd_start,
+            TraceEventKind::CmdAck {
+                code: code.to_u16(),
+                attempts: 1,
+            },
+        );
+        self.latency_histo.record(self.total_latency_ps - cmd_start);
         Ok(resp)
     }
 
@@ -219,8 +272,17 @@ impl CommandDriver {
             code: code.to_u16(),
         });
         let mut attempt: u32 = 0;
+        let cmd_start = self.clock_ps;
         loop {
             let attempt_start = self.clock_ps;
+            self.trace.instant(
+                attempt_start,
+                TraceEventKind::CmdIssue {
+                    code: code.to_u16(),
+                    rbb_id,
+                    instance_id: instance,
+                },
+            );
             let mut bytes = packet.encode();
             match self.engine.command_delivery(bytes.len() as u32, attempt_start) {
                 CommandDelivery::Delivered { latency_ps } => {
@@ -230,7 +292,7 @@ impl CommandDriver {
                 CommandDelivery::Lost { latency_ps } => {
                     // Nothing will ever arrive; wait out the deadline.
                     self.clock_ps += latency_ps;
-                    self.timeout(attempt_start);
+                    self.timeout(attempt_start, packet.code.to_u16());
                     self.retry_or_give_up(&mut attempt, &packet)?;
                     continue;
                 }
@@ -238,6 +300,7 @@ impl CommandDriver {
             // Wire corruption between the DMA engine and the kernel
             // buffer: the kernel must NACK, not panic.
             self.faults.corrupt_command(self.clock_ps, &mut bytes);
+            self.kernel.sync_clock(self.clock_ps);
             match self.kernel.submit_bytes_or_nack(&bytes, self.src) {
                 Err(e) => return Err(DriverError::Kernel(e)),
                 Ok(Some(_nack)) => {
@@ -262,7 +325,7 @@ impl CommandDriver {
             // host never hears about it. The idempotency tag makes the
             // retry safe — the kernel replays the cached response.
             if self.faults.irq_lost(self.clock_ps) {
-                self.timeout(attempt_start);
+                self.timeout(attempt_start, packet.code.to_u16());
                 self.retry_or_give_up(&mut attempt, &packet)?;
                 continue;
             }
@@ -271,14 +334,25 @@ impl CommandDriver {
             debug_assert_eq!(uploaded, Some(tag));
             self.acked_log.push(tag);
             self.report.acked += 1;
+            self.trace.span(
+                cmd_start,
+                self.clock_ps - cmd_start,
+                TraceEventKind::CmdAck {
+                    code: code.to_u16(),
+                    attempts: attempt + 1,
+                },
+            );
+            self.latency_histo.record(self.clock_ps - cmd_start);
             return Ok(resp);
         }
     }
 
     /// Burns the remainder of the per-command deadline.
-    fn timeout(&mut self, attempt_start: Picos) {
+    fn timeout(&mut self, attempt_start: Picos, code: u16) {
         self.report.timeouts += 1;
         self.clock_ps = self.clock_ps.max(attempt_start + self.policy.deadline_ps);
+        self.trace
+            .instant(self.clock_ps, TraceEventKind::CmdTimeout { code });
     }
 
     fn retry_or_give_up(
@@ -288,6 +362,13 @@ impl CommandDriver {
     ) -> Result<(), DriverError> {
         if *attempt >= self.policy.max_retries {
             self.report.gave_up += 1;
+            self.trace.instant(
+                self.clock_ps,
+                TraceEventKind::CmdGiveUp {
+                    code: packet.code.to_u16(),
+                    attempts: *attempt + 1,
+                },
+            );
             return Err(DriverError::GaveUp {
                 rbb_id: packet.rbb_id,
                 instance_id: packet.instance_id,
@@ -299,6 +380,13 @@ impl CommandDriver {
         self.clock_ps += self.policy.backoff_ps(*attempt);
         *attempt += 1;
         self.report.retries += 1;
+        self.trace.instant(
+            self.clock_ps,
+            TraceEventKind::CmdRetry {
+                code: packet.code.to_u16(),
+                attempt: *attempt,
+            },
+        );
         Ok(())
     }
 
@@ -337,6 +425,9 @@ impl CommandDriver {
         &mut self,
         shell: &mut TailoredShell,
     ) -> Result<usize, DriverError> {
+        // Degradations recorded by the ledger land on this driver's
+        // timeline (a disabled handle clones for free).
+        shell.health_mut().set_trace_collector(self.trace.clone());
         let mut counters = std::collections::BTreeMap::new();
         let modules: Vec<(u8, u8)> = shell
             .rbbs()
@@ -660,6 +751,81 @@ mod tests {
         assert_eq!(drv.kernel().replays(), 1, "retry must replay, not re-run");
         assert_eq!(drv.kernel().commands_executed(), 1);
         assert_eq!(drv.report().timeouts, 1);
+    }
+
+    #[test]
+    fn traced_retry_storm_lands_on_one_timeline() {
+        use harmonia_sim::{FaultKind, FaultPlan, TraceCollector};
+        let (mut drv, _) = setup();
+        let tc = TraceCollector::enabled();
+        drv.set_trace_collector(tc.clone());
+        drv.set_fault_injector(
+            FaultPlan::new()
+                .at(0, FaultKind::CmdDrop)
+                .at(1, FaultKind::CmdCorrupt)
+                .injector(),
+        );
+        drv.cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new())
+            .unwrap();
+        let trace = tc.take();
+        let names: Vec<&str> = trace.events().iter().map(|e| e.kind.name()).collect();
+        // Driver, DMA engine and kernel all report into the same buffer.
+        for expected in [
+            "cmd-issue",
+            "cmd-delivery",
+            "cmd-timeout",
+            "cmd-retry",
+            "cmd-nack",
+            "kernel-exec",
+            "cmd-ack",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        // Events arrive time-ordered; the ack span covers the whole run.
+        let times: Vec<u64> = trace.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(drv.latency_histogram().count(), 1);
+        assert!(drv.latency_histogram().max() >= drv.policy().deadline_ps);
+    }
+
+    #[test]
+    fn tracing_never_changes_behavior() {
+        use harmonia_sim::{FaultKind, FaultPlan, TraceCollector};
+        let run = |traced: bool| {
+            let (mut drv, mut shell) = setup();
+            if traced {
+                drv.set_trace_collector(TraceCollector::enabled());
+            }
+            let mut plan = FaultPlan::new().at(0, FaultKind::CmdDrop);
+            for i in 0..5 {
+                plan = plan.at(100 + i, FaultKind::CmdDrop);
+            }
+            drv.set_fault_injector(plan.injector());
+            let initialized = drv.init_shell_resilient(&mut shell).unwrap();
+            let stats = drv.read_all_stats_resilient(&shell).unwrap();
+            (initialized, stats, drv.report().clone(), drv.clock_ps())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn legacy_path_populates_histogram_and_trace() {
+        use harmonia_sim::TraceCollector;
+        let (mut drv, shell) = setup();
+        let tc = TraceCollector::enabled();
+        drv.set_trace_collector(tc.clone());
+        drv.init_shell(&shell).unwrap();
+        assert_eq!(drv.latency_histogram().count(), 3);
+        assert!(drv.latency_histogram().p50() > 0);
+        let trace = tc.take();
+        let acks = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind.name() == "cmd-ack")
+            .count();
+        assert_eq!(acks, 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! share the data queues, where they wait behind buffered data.
 
 use harmonia_hw::ip::PcieDmaIp;
-use harmonia_sim::{FaultInjector, Picos, Throughput};
+use harmonia_sim::{FaultInjector, FaultKind, Picos, Throughput, TraceCollector, TraceEventKind};
 
 /// Outcome of shipping one command packet through the control queue.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -35,6 +35,7 @@ pub struct DmaEngine {
     data_sent: Throughput,
     commands_sent: u64,
     faults: FaultInjector,
+    trace: TraceCollector,
 }
 
 impl DmaEngine {
@@ -48,7 +49,16 @@ impl DmaEngine {
             data_sent: Throughput::new(),
             commands_sent: 0,
             faults: FaultInjector::none(),
+            trace: TraceCollector::disabled(),
         }
+    }
+
+    /// Attaches an observability collector: every
+    /// [`DmaEngine::command_delivery`] emits a
+    /// [`TraceEventKind::CmdDelivery`] span, and injected credit stalls
+    /// emit [`TraceEventKind::FaultInjected`] instants.
+    pub fn set_trace_collector(&mut self, trace: TraceCollector) {
+        self.trace = trace;
     }
 
     /// Attaches a fault injector to the control queue (clones share the
@@ -137,11 +147,33 @@ impl DmaEngine {
             let stall = self.faults.take_stall_beats(now);
             if stall > 0 {
                 latency_ps += stall * self.credit_beat_ps();
+                self.trace.instant(
+                    now,
+                    TraceEventKind::FaultInjected {
+                        kind: FaultKind::PcieCreditStall { beats: stall },
+                    },
+                );
             }
             if !self.faults.link_up(now) || self.faults.drop_command(now) {
+                self.trace.span(
+                    now,
+                    latency_ps,
+                    TraceEventKind::CmdDelivery {
+                        bytes: cmd_bytes,
+                        lost: true,
+                    },
+                );
                 return CommandDelivery::Lost { latency_ps };
             }
         }
+        self.trace.span(
+            now,
+            latency_ps,
+            TraceEventKind::CmdDelivery {
+                bytes: cmd_bytes,
+                lost: false,
+            },
+        );
         CommandDelivery::Delivered { latency_ps }
     }
 

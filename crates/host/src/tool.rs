@@ -11,6 +11,7 @@ use crate::cmd_driver::CommandDriver;
 use crate::dma::DmaEngine;
 use harmonia_cmd::{CommandCode, KernelError, SrcId, UnifiedControlKernel};
 use harmonia_shell::TailoredShell;
+use harmonia_sim::{LogHistogram, Trace, TraceCollector};
 use std::fmt;
 
 /// A board-health snapshot.
@@ -96,6 +97,32 @@ impl ControlTool {
     pub fn driver(&self) -> &CommandDriver {
         &self.driver
     }
+
+    /// Mutable driver access (fault injectors, trace collectors, policy).
+    pub fn driver_mut(&mut self) -> &mut CommandDriver {
+        &mut self.driver
+    }
+
+    /// The `trace` subcommand: runs a full monitoring sweep (every
+    /// module's statistics plus board health) with tracing forced on and
+    /// returns the captured [`Trace`] alongside the command-latency
+    /// histogram. Export with [`Trace::export_perfetto`] or
+    /// [`Trace::export_text`].
+    ///
+    /// # Errors
+    ///
+    /// Kernel-side failures.
+    pub fn capture_trace(
+        &mut self,
+        shell: &TailoredShell,
+    ) -> Result<(Trace, LogHistogram), KernelError> {
+        let tc = TraceCollector::enabled();
+        self.driver.set_trace_collector(tc.clone());
+        self.stats_snapshot(shell)?;
+        self.driver
+            .set_trace_collector(TraceCollector::from_env());
+        Ok((tc.take(), self.driver.latency_histogram().clone()))
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +166,22 @@ mod tests {
         let (mut tool, _) = tool_and_shell();
         tool.reset_module(1, 0).unwrap();
         assert!(tool.reset_module(2, 0).is_err()); // no memory module
+    }
+
+    #[test]
+    fn capture_trace_covers_the_monitoring_sweep() {
+        let (mut tool, shell) = tool_and_shell();
+        let (trace, histo) = tool.capture_trace(&shell).unwrap();
+        // 3 StatsRead + 1 HealthRead, each an issue + delivery + exec + ack.
+        assert_eq!(histo.count(), 4);
+        // Each command contributes at least issue + exec + ack.
+        assert!(trace.len() >= 12, "only {} events", trace.len());
+        assert!(trace.export_perfetto().contains("\"kernel-exec\""));
+        assert!(trace.export_text().contains("cmd-ack"));
+        // The tool's own collector detaches afterwards (back to env gate).
+        if std::env::var_os(harmonia_sim::TRACE_ENV).is_none() {
+            assert!(!tool.driver().trace().is_enabled());
+        }
     }
 
     #[test]

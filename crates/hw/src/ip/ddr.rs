@@ -50,6 +50,15 @@ impl DdrIp {
         DramModel::new(self.timing())
     }
 
+    /// [`DdrIp::channel`] with an observability collector attached: row
+    /// conflicts and ECC scrubs on the returned channel land on the
+    /// shared timeline.
+    pub fn traced_channel(&self, trace: &harmonia_sim::TraceCollector) -> DramModel {
+        let mut ch = self.channel();
+        ch.set_trace_collector(trace.clone());
+        ch
+    }
+
     /// Peak channel bandwidth in GB/s.
     pub fn peak_gbs(&self) -> f64 {
         self.timing().peak_gbs()
@@ -224,6 +233,26 @@ mod tests {
         let mut ch = ip.channel();
         let (ps, bytes) = ch.run_trace((0..1000u64).map(|i| MemOp::read(i * 64, 64)));
         assert!(ps > 0 && bytes == 64_000);
+    }
+
+    #[test]
+    fn traced_channel_reports_row_conflicts() {
+        use harmonia_sim::TraceCollector;
+        let ip = DdrIp::new(Vendor::Xilinx, 4);
+        let tc = TraceCollector::enabled();
+        let mut ch = ip.traced_channel(&tc);
+        // Row-thrash within one bank: every access opens a new row.
+        let (ps, _) = ch.run_trace((0..8u64).map(|i| MemOp::read(i << 20, 64)));
+        assert!(ps > 0);
+        let trace = tc.take();
+        assert!(
+            trace
+                .events()
+                .iter()
+                .all(|e| e.kind.name() == "dram-row-conflict"),
+            "unexpected events: {trace}"
+        );
+        assert_eq!(trace.len(), 8);
     }
 
     #[test]

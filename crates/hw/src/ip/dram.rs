@@ -10,7 +10,7 @@
 //! results: sequential ≫ random throughput (Figs 10c, 18c) and the benefit
 //! of interleaving (ablation benches).
 
-use harmonia_sim::{FaultInjector, Picos};
+use harmonia_sim::{FaultInjector, Picos, TraceCollector, TraceEventKind};
 use std::collections::VecDeque;
 
 /// One memory operation presented to the controller.
@@ -154,6 +154,7 @@ pub struct DramModel {
     recent_activates: VecDeque<Picos>,
     hits: u64,
     misses: u64,
+    trace: TraceCollector,
 }
 
 impl DramModel {
@@ -169,7 +170,15 @@ impl DramModel {
             timing,
             hits: 0,
             misses: 0,
+            trace: TraceCollector::disabled(),
         }
+    }
+
+    /// Attaches an observability collector: row-buffer conflicts emit
+    /// [`TraceEventKind::DramRowConflict`] instants and corrected ECC
+    /// hits emit [`TraceEventKind::EccScrub`] spans.
+    pub fn set_trace_collector(&mut self, trace: TraceCollector) {
+        self.trace = trace;
     }
 
     /// The channel's timing parameters.
@@ -223,6 +232,8 @@ impl DramModel {
         } else {
             self.misses += 1;
             self.open_rows[bank] = Some(row);
+            self.trace
+                .instant(t, TraceEventKind::DramRowConflict { bank: bank as u32 });
             t = self.reserve_activate(t) + self.timing.row_miss_extra_ps;
         }
 
@@ -265,6 +276,8 @@ impl DramModel {
         if faults.ecc_error(done) {
             let scrubbed = done + self.timing.ecc_scrub_penalty_ps();
             self.bus_free_ps = self.bus_free_ps.max(scrubbed);
+            self.trace
+                .span(done, scrubbed - done, TraceEventKind::EccScrub);
             scrubbed
         } else {
             done
@@ -454,6 +467,30 @@ mod tests {
             let op = MemOp::read(addr % (1 << 30), 64);
             assert_eq!(plain.access(0, op), faulty.access_with_faults(0, op, &none));
         }
+    }
+
+    #[test]
+    fn row_conflicts_and_scrubs_show_on_the_timeline() {
+        use harmonia_sim::{FaultKind, FaultPlan, TraceCollector, TraceEventKind};
+        let tc = TraceCollector::enabled();
+        let mut m = DramModel::new(DramTiming::ddr4_2400());
+        m.set_trace_collector(tc.clone());
+        let inj = FaultPlan::new().at(0, FaultKind::EccError).injector();
+        m.access_with_faults(0, MemOp::read(0, 64), &inj); // miss + ECC
+        m.access(0, MemOp::read(64 * 16, 64)); // same row → hit, no event
+        let trace = tc.take();
+        let names: Vec<&str> = trace.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, vec!["dram-row-conflict", "ecc-scrub"]);
+        let scrub = &trace.events()[1];
+        assert_eq!(
+            scrub.dur,
+            DramTiming::ddr4_2400().ecc_scrub_penalty_ps(),
+            "scrub span covers the replay penalty"
+        );
+        assert!(matches!(
+            trace.events()[0].kind,
+            TraceEventKind::DramRowConflict { bank: 0 }
+        ));
     }
 
     #[test]

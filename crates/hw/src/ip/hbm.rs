@@ -60,8 +60,31 @@ impl HbmIp {
         stripe_bytes: u64,
         faults: &harmonia_sim::FaultInjector,
     ) -> (Picos, u64) {
+        self.run_striped_trace_traced(
+            ops,
+            stripe_bytes,
+            faults,
+            &harmonia_sim::TraceCollector::disabled(),
+        )
+    }
+
+    /// [`HbmIp::run_striped_trace_with_faults`] with an observability
+    /// collector attached to every pseudo-channel: row conflicts and ECC
+    /// scrubs land on the shared timeline (each channel stamps its own
+    /// bank id). A disabled collector reproduces the untraced run
+    /// bit-for-bit.
+    pub fn run_striped_trace_traced<I: IntoIterator<Item = MemOp>>(
+        &self,
+        ops: I,
+        stripe_bytes: u64,
+        faults: &harmonia_sim::FaultInjector,
+        trace: &harmonia_sim::TraceCollector,
+    ) -> (Picos, u64) {
         assert!(stripe_bytes > 0, "stripe size must be non-zero");
         let mut channels = self.channels();
+        for ch in &mut channels {
+            ch.set_trace_collector(trace.clone());
+        }
         let mut now = vec![0u64; channels.len()];
         let mut bytes = 0u64;
         for op in ops {
@@ -217,5 +240,52 @@ mod tests {
         // The explicit no-op injector reproduces the plain trace exactly.
         let none = harmonia_sim::FaultInjector::none();
         assert_eq!(hbm.run_striped_trace_with_faults(ops(), 256, &none), (clean, bytes));
+    }
+
+    #[test]
+    fn striped_run_surfaces_row_conflicts_and_scrubs() {
+        use harmonia_sim::{FaultPlan, FaultRates, TraceCollector};
+        let hbm = HbmIp::new(Vendor::Xilinx);
+        // Two rows ping-ponging in one stripe: every access past the first
+        // conflicts.
+        let ops = || (0..64u64).map(|i| MemOp::read((i % 2) << 20, 64));
+        let inj = FaultPlan::new()
+            .with_rates(
+                11,
+                FaultRates {
+                    ecc: 0.3,
+                    ..FaultRates::default()
+                },
+            )
+            .injector();
+        let tc = TraceCollector::enabled();
+        let (traced_ps, traced_bytes) = hbm.run_striped_trace_traced(ops(), 4096, &inj, &tc);
+        let trace = tc.take();
+        let conflicts = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind.name() == "dram-row-conflict")
+            .count();
+        let scrubs = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind.name() == "ecc-scrub")
+            .count();
+        assert!(conflicts >= 32, "only {conflicts} row conflicts traced");
+        assert!(scrubs > 0, "ECC scrubs must reach the timeline");
+        // Observational only: same makespan as the untraced fault run.
+        let inj2 = FaultPlan::new()
+            .with_rates(
+                11,
+                FaultRates {
+                    ecc: 0.3,
+                    ..FaultRates::default()
+                },
+            )
+            .injector();
+        assert_eq!(
+            hbm.run_striped_trace_with_faults(ops(), 4096, &inj2),
+            (traced_ps, traced_bytes)
+        );
     }
 }

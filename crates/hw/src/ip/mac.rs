@@ -10,7 +10,7 @@ use crate::ip::{IpKind, VendorIp};
 use crate::regfile::{Access, RegOp, RegisterFile};
 use crate::resource::ResourceUsage;
 use crate::vendor::Vendor;
-use harmonia_sim::{FaultInjector, Freq, Picos};
+use harmonia_sim::{FaultInjector, FaultKind, Freq, Picos, TraceCollector, TraceEventKind};
 
 /// Ethernet wire overhead per frame: 7 B preamble + 1 B SFD + 12 B IFG.
 pub const WIRE_OVERHEAD_BYTES: u32 = 20;
@@ -88,6 +88,49 @@ impl MacIp {
             return None;
         }
         Some(self.loopback_latency_ps(frame_bytes))
+    }
+
+    /// [`MacIp::rx_frame_with_faults`] with observability: a carried
+    /// frame records a [`TraceEventKind::MacFrame`] span covering its
+    /// loopback latency; a frame lost to a down link records a lost-frame
+    /// instant plus the [`TraceEventKind::FaultInjected`] that killed it.
+    /// With a disabled collector this is exactly `rx_frame_with_faults`.
+    pub fn rx_frame_traced(
+        &self,
+        frame_bytes: u32,
+        faults: &FaultInjector,
+        now: Picos,
+        trace: &TraceCollector,
+    ) -> Option<Picos> {
+        match self.rx_frame_with_faults(frame_bytes, faults, now) {
+            Some(latency_ps) => {
+                trace.span(
+                    now,
+                    latency_ps,
+                    TraceEventKind::MacFrame {
+                        bytes: frame_bytes,
+                        lost: false,
+                    },
+                );
+                Some(latency_ps)
+            }
+            None => {
+                trace.instant(
+                    now,
+                    TraceEventKind::FaultInjected {
+                        kind: FaultKind::LinkDown,
+                    },
+                );
+                trace.instant(
+                    now,
+                    TraceEventKind::MacFrame {
+                        bytes: frame_bytes,
+                        lost: true,
+                    },
+                );
+                None
+            }
+        }
     }
 
     fn stat_counter_count(&self) -> u32 {
@@ -382,5 +425,32 @@ mod tests {
         // The no-op injector never drops.
         let none = FaultPlan::none().injector();
         assert!(mac.rx_frame_with_faults(64, &none, 1_500_000).is_some());
+    }
+
+    #[test]
+    fn traced_frames_land_on_the_timeline() {
+        use harmonia_sim::{FaultPlan, TraceCollector};
+        let mac = MacIp::new(Vendor::Xilinx, 100);
+        let inj = FaultPlan::new()
+            .at(1_000_000, FaultKind::LinkDown)
+            .injector();
+        let tc = TraceCollector::enabled();
+        // Carried frame: one span covering the loopback latency.
+        let lat = mac.rx_frame_traced(1500, &inj, 0, &tc);
+        assert_eq!(lat, mac.rx_frame_with_faults(1500, &inj, 0));
+        // Lost frame: a fault instant plus a lost-frame instant.
+        assert_eq!(mac.rx_frame_traced(1500, &inj, 1_500_000, &tc), None);
+        let trace = tc.take();
+        let names: Vec<_> = trace.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, ["mac-frame", "fault-injected", "mac-frame"]);
+        assert_eq!(trace.events()[0].dur, mac.loopback_latency_ps(1500));
+        assert!(trace.export_text().contains("lost=true"));
+        // Disabled collector records nothing and changes nothing.
+        let off = TraceCollector::disabled();
+        let none = FaultPlan::none().injector();
+        assert_eq!(
+            mac.rx_frame_traced(64, &none, 0, &off),
+            Some(mac.loopback_latency_ps(64))
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! *degraded* here; the shell continues operating the healthy modules and
 //! the transition stays visible through the normal stats path.
 
-use harmonia_sim::Picos;
+use harmonia_sim::{Picos, TraceCollector, TraceEventKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -46,12 +46,20 @@ impl fmt::Display for RbbHealth {
 #[derive(Clone, Debug, Default)]
 pub struct HealthLedger {
     entries: BTreeMap<(u8, u8), RbbHealth>,
+    trace: TraceCollector,
 }
 
 impl HealthLedger {
     /// Creates an empty ledger (every module implicitly healthy).
     pub fn new() -> Self {
         HealthLedger::default()
+    }
+
+    /// Attaches an observability collector: new degradations emit a
+    /// [`TraceEventKind::ModuleDegraded`] instant (the driver attaches
+    /// its own collector during resilient bring-up).
+    pub fn set_trace_collector(&mut self, trace: TraceCollector) {
+        self.trace = trace;
     }
 
     /// Marks a module degraded. Returns `false` if it already was (the
@@ -61,6 +69,13 @@ impl HealthLedger {
             std::collections::btree_map::Entry::Occupied(_) => false,
             std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(RbbHealth::Degraded { since_ps: now });
+                self.trace.instant(
+                    now,
+                    TraceEventKind::ModuleDegraded {
+                        rbb_id,
+                        instance_id,
+                    },
+                );
                 true
             }
         }
@@ -131,6 +146,25 @@ mod tests {
         assert!(!l.mark_degraded(2, 0, 900));
         assert_eq!(l.health_of(2, 0), RbbHealth::Degraded { since_ps: 500 });
         assert!(l.to_string().contains("rbb2#0@500ps"));
+    }
+
+    #[test]
+    fn degradation_emits_one_trace_event() {
+        let tc = TraceCollector::enabled();
+        let mut l = HealthLedger::new();
+        l.set_trace_collector(tc.clone());
+        assert!(l.mark_degraded(1, 0, 750));
+        assert!(!l.mark_degraded(1, 0, 900), "re-marking is silent");
+        let trace = tc.take();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].at, 750);
+        assert_eq!(
+            trace.events()[0].kind,
+            TraceEventKind::ModuleDegraded {
+                rbb_id: 1,
+                instance_id: 0
+            }
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::fault::FaultInjector;
 use crate::time::Picos;
+use crate::trace::{TraceCollector, TraceEventKind};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -114,6 +115,32 @@ impl<T> SyncFifo<T> {
             return Ok(BeatFate::Discarded);
         }
         self.push(item).map(|()| BeatFate::Stored)
+    }
+
+    /// [`SyncFifo::push`] that records a [`TraceEventKind::FifoStall`]
+    /// instant when the FIFO rejects the beat — so backpressure shows up
+    /// on the observability timeline. With a disabled collector this is
+    /// exactly `push`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] containing the item when the FIFO is full.
+    pub fn push_traced(
+        &mut self,
+        item: T,
+        trace: &TraceCollector,
+        now: Picos,
+    ) -> Result<(), FifoFullError<T>> {
+        let result = self.push(item);
+        if result.is_err() {
+            trace.instant(
+                now,
+                TraceEventKind::FifoStall {
+                    occupancy: self.buf.len() as u32,
+                },
+            );
+        }
+        result
     }
 
     /// Dequeues the oldest item, if any.
@@ -271,6 +298,23 @@ mod tests {
         assert_eq!(f.push_with_faults(3, &inj, 6), Ok(BeatFate::Stored));
         assert_eq!(f.rejected(), 1);
         assert_eq!(f.drain(), vec![1, 3]);
+    }
+
+    #[test]
+    fn traced_push_emits_stall_only_on_rejection() {
+        use crate::trace::{TraceCollector, TraceEventKind};
+        let tc = TraceCollector::enabled();
+        let mut f = SyncFifo::new(1);
+        f.push_traced(1, &tc, 100).unwrap();
+        assert!(tc.is_empty(), "accepted beats emit nothing");
+        assert!(f.push_traced(2, &tc, 200).is_err());
+        let trace = tc.take();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events()[0].at, 200);
+        assert_eq!(
+            trace.events()[0].kind,
+            TraceEventKind::FifoStall { occupancy: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Log-bucketed latency histograms: bounded-memory percentile tracking
+//! for the observability plane.
+//!
+//! [`crate::stats::LatencyStats`] keeps every sample — exact percentiles,
+//! unbounded memory. [`LogHistogram`] is its streaming complement: 65
+//! power-of-two buckets, O(1) record, mergeable across workers, with
+//! nearest-rank p50/p99/max read off bucket upper bounds. Bucket `b`
+//! covers `[2^(b-1), 2^b - 1]` (bucket 0 is exactly `{0}`), so relative
+//! error is bounded by 2× — plenty for "where did the tail go" questions,
+//! while `max` stays exact.
+//!
+//! ```
+//! use harmonia_sim::histo::LogHistogram;
+//!
+//! let mut h = LogHistogram::new();
+//! for v in [100u64, 200, 300, 400, 50_000] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 5);
+//! assert_eq!(h.max(), 50_000);          // exact
+//! assert!(h.p50() >= 200 && h.p50() < 512); // bucketed upper bound
+//! assert!(h.p99() >= 50_000);
+//! ```
+
+use std::fmt;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucketed histogram of `u64` samples (latencies in
+/// picoseconds, sizes in bytes — any non-negative magnitude).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (v.ilog2() + 1) as usize
+        }
+    }
+
+    /// Upper bound of bucket `b` (inclusive).
+    fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one sample. O(1), no allocation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one (workers merge into a fleet
+    /// view). Merge order does not affect any reported statistic.
+    ///
+    /// ```
+    /// use harmonia_sim::histo::LogHistogram;
+    /// let mut a = LogHistogram::new();
+    /// let mut b = LogHistogram::new();
+    /// a.record(10);
+    /// b.record(1_000);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.max(), 1_000);
+    /// ```
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Nearest-rank percentile (`0 < p <= 100`), reported as the upper
+    /// bound of the bucket holding that rank — except the last occupied
+    /// bucket, where the exact `max` is returned. Same nearest-rank
+    /// convention as [`crate::stats::LatencyStats`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Ranks landing in the top occupied bucket report the
+                // exact max rather than a (possibly 2×) upper bound.
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Multi-line ASCII rendering of the occupied buckets, with `#` bars
+    /// scaled to the fullest bucket — the `trace` binary and the
+    /// `trace_capture` example print this.
+    pub fn render(&self) -> String {
+        if self.count == 0 {
+            return String::from("(empty histogram)\n");
+        }
+        let widest = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        let lo = self.buckets.iter().position(|&n| n > 0).unwrap_or(0);
+        let hi = self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+        let mut out = String::new();
+        for b in lo..=hi {
+            let n = self.buckets[b];
+            let bar = (n * 40 / widest) as usize;
+            out.push_str(&format!(
+                "{:>20} | {:<40} {}\n",
+                format!("<= {}", Self::bucket_upper(b)),
+                "#".repeat(bar.max(usize::from(n > 0))),
+                n
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histo[n={} min={} mean={} p50={} p99={} max={}]",
+            self.count(),
+            self.min(),
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert!(h.render().contains("empty"));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_upper(0), 0);
+        assert_eq!(LogHistogram::bucket_upper(1), 1);
+        assert_eq!(LogHistogram::bucket_upper(2), 3);
+        assert_eq!(LogHistogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(777);
+        assert_eq!(h.p50(), 777, "top occupied bucket reports exact max");
+        assert_eq!(h.p99(), 777);
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.mean(), 777);
+    }
+
+    #[test]
+    fn percentiles_track_distribution_shape() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.percentile(99.0), 127);
+        assert_eq!(h.percentile(100.0), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [5u64, 10, 20] {
+            a.record(v);
+        }
+        for v in [40u64, 80, 160_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.min(), 5);
+        assert_eq!(ab.max(), 160_000);
+    }
+
+    #[test]
+    fn zero_samples_live_in_bucket_zero() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 1);
+    }
+
+    #[test]
+    fn render_shows_occupied_buckets_only() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        h.record(100_000);
+        let r = h.render();
+        assert_eq!(r.lines().count(), LogHistogram::bucket_of(100_000) - LogHistogram::bucket_of(100) + 1);
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    fn display_one_liner() {
+        let mut h = LogHistogram::new();
+        h.record(1_000);
+        let s = h.to_string();
+        assert!(s.starts_with("histo[n=1"), "{s}");
+        assert!(s.contains("max=1000"), "{s}");
+    }
+}

@@ -29,19 +29,23 @@ pub mod edges;
 pub mod exec;
 pub mod fault;
 pub mod fifo;
+pub mod histo;
 pub mod pipeline;
 pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod time;
+pub mod trace;
 
 pub use async_fifo::AsyncFifo;
 pub use edges::{ClockEdge, MultiClock};
 pub use exec::WorkerPool;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultReport};
 pub use fifo::{BeatFate, FifoFullError, SyncFifo};
+pub use histo::LogHistogram;
 pub use pipeline::{Pipeline, PushError};
 pub use rng::SplitMix64;
 pub use stats::{LatencyStats, Throughput};
 pub use stream::StreamBeat;
 pub use time::{ClockDomain, Freq, Picos, PS_PER_SEC};
+pub use trace::{par_traced, Trace, TraceCollector, TraceEvent, TraceEventKind, TRACE_ENV};

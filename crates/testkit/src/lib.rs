@@ -18,7 +18,7 @@
 //! - **Deterministic RNG** ([`rng::DetRng`]): uniform/range/choice/
 //!   shuffle/weighted distributions on [`harmonia_sim::SplitMix64`],
 //!   replacing the `rand` crate in the workload generators.
-//! - **Micro-benchmarks** ([`bench`]): warmup + calibrated timed batches
+//! - **Micro-benchmarks** ([`mod@bench`]): warmup + calibrated timed batches
 //!   with median/p99, `BENCH_<group>.json` artifacts, and
 //!   [`bench_group!`]/[`bench_main!`] for `harness = false` targets.
 //!

@@ -177,7 +177,7 @@ impl Runner {
     /// takes).
     ///
     /// Determinism contract: seeds derive from the case index (see
-    /// [`Runner::case_seeds`]), and when several cases fail, the one
+    /// `Runner::case_seeds`), and when several cases fail, the one
     /// with the lowest index is reported — the same case the serial run
     /// stops at. With `threads == 1` this *is* [`Runner::run`], so
     /// failures, shrink tapes and persisted regressions are identical at

@@ -162,7 +162,7 @@ tuple_strategies! {
     (A, B, C, D, E, F, G, H)
 }
 
-/// Full-domain strategies for primitives, used by [`any`].
+/// Full-domain strategies for primitives, used by [`any()`](arbitrary::any).
 pub mod arbitrary {
     use super::*;
 
@@ -232,7 +232,7 @@ pub mod arbitrary {
 pub mod collection {
     use super::*;
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -268,7 +268,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
