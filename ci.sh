@@ -20,6 +20,9 @@ HARMONIA_THREADS=1 cargo test -q --workspace --offline --locked
 echo "==> tier-1: test suite (default parallelism)"
 cargo test -q --workspace --offline --locked
 
+echo "==> tier-1: test suite (event-driven engine)"
+HARMONIA_ENGINE=event cargo test -q --workspace --offline --locked
+
 echo "==> docs: rustdoc builds with zero warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --locked
 
@@ -32,7 +35,7 @@ cargo bench --no-run --workspace --offline --locked
 echo "==> fault campaigns (smoke): deep randomized fault plans"
 TESTKIT_CASES=128 cargo test -q --offline --locked -p harmonia-host --test fault_campaigns
 
-echo "==> paper bench (smoke): serial vs parallel sweep"
+echo "==> paper bench (smoke): serial vs parallel sweep, both engines"
 TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench paper
 cp target/testkit-bench/BENCH_paper.json .
 

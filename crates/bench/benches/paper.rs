@@ -1,37 +1,56 @@
-//! Serial vs parallel timing of the full paper regeneration.
+//! Serial vs parallel timing of the full paper regeneration, under both
+//! simulation engines.
 //!
 //! Measures `all_tables()` (every figure/table generator) with the worker
-//! pool pinned to one thread and with the hardware default, so the
-//! committed `BENCH_paper.json` records what the execution layer buys on
-//! the build machine. `TESTKIT_BENCH_SMOKE=1` trims sampling for CI.
+//! pool pinned to one thread and with the hardware default, and with
+//! `HARMONIA_ENGINE` at its cycle-stepped default and at `event`, so the
+//! committed `BENCH_paper.json` records what the execution layer and the
+//! skip-ahead scheduler buy on the build machine.
+//! `TESTKIT_BENCH_SMOKE=1` trims sampling for CI.
 
+use harmonia::sim::exec::THREADS_ENV;
+use harmonia::sim::ENGINE_ENV;
 use harmonia_testkit::bench::{black_box, Criterion};
 use harmonia_testkit::{bench_group, bench_main};
 
-fn with_threads<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
-    let prior = std::env::var(harmonia::sim::exec::THREADS_ENV).ok();
+fn with_env<R>(key: &str, value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let prior = std::env::var(key).ok();
     match value {
-        Some(v) => std::env::set_var(harmonia::sim::exec::THREADS_ENV, v),
-        None => std::env::remove_var(harmonia::sim::exec::THREADS_ENV),
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
     }
     let out = f();
     match prior {
-        Some(v) => std::env::set_var(harmonia::sim::exec::THREADS_ENV, v),
-        None => std::env::remove_var(harmonia::sim::exec::THREADS_ENV),
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
     }
     out
+}
+
+fn with_knobs<R>(threads: Option<&str>, engine: Option<&str>, f: impl FnOnce() -> R) -> R {
+    with_env(THREADS_ENV, threads, || with_env(ENGINE_ENV, engine, f))
 }
 
 fn bench_paper(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper");
     g.sample_size(10);
     g.bench_function("full_sweep_serial", |b| {
-        with_threads(Some("1"), || {
+        with_knobs(Some("1"), Some("cycle"), || {
             b.iter(|| black_box(harmonia_bench::all_tables().len()))
         })
     });
     g.bench_function("full_sweep_parallel", |b| {
-        with_threads(None, || {
+        with_knobs(None, Some("cycle"), || {
+            b.iter(|| black_box(harmonia_bench::all_tables().len()))
+        })
+    });
+    g.bench_function("full_sweep_event_serial", |b| {
+        with_knobs(Some("1"), Some("event"), || {
+            b.iter(|| black_box(harmonia_bench::all_tables().len()))
+        })
+    });
+    g.bench_function("full_sweep_event_parallel", |b| {
+        with_knobs(None, Some("event"), || {
             b.iter(|| black_box(harmonia_bench::all_tables().len()))
         })
     });

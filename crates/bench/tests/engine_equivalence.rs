@@ -1,0 +1,231 @@
+//! The simulation engine's determinism contract, end to end: every paper
+//! artifact, trace export and fault-campaign transcript must render
+//! byte-identically whether `HARMONIA_ENGINE` selects the cycle-stepped
+//! reference or the event-driven scheduler, at any worker-pool width.
+//!
+//! This is the differential harness the event engine is developed
+//! against: the cycle engine is the behavioral reference (pinned to
+//! `paper_output.txt` by `paper_snapshot`), and the matrix below walks
+//! {cycle, event} x {1 thread, 4 threads} asserting byte equality of
+//! everything the repo publishes.
+
+use harmonia::sim::exec::THREADS_ENV;
+use harmonia::sim::{Engine, ENGINE_ENV};
+use std::sync::Mutex;
+
+/// Env mutations are process-global; serialize the tests that flip
+/// `HARMONIA_THREADS` / `HARMONIA_ENGINE` so cargo's parallel test
+/// runner can't interleave them.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with both knobs pinned, restoring the prior values after.
+fn with_knobs<R>(threads: Option<&str>, engine: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let prior_threads = std::env::var(THREADS_ENV).ok();
+    let prior_engine = std::env::var(ENGINE_ENV).ok();
+    let set = |key: &str, value: Option<&str>| match value {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    };
+    set(THREADS_ENV, threads);
+    set(ENGINE_ENV, engine);
+    let out = f();
+    set(THREADS_ENV, prior_threads.as_deref());
+    set(ENGINE_ENV, prior_engine.as_deref());
+    out
+}
+
+/// The full comparison matrix: both engines at serial and wide pool
+/// widths. The first entry is the reference everything else must match.
+const MATRIX: [(&str, &str); 4] = [
+    ("cycle", "1"),
+    ("cycle", "4"),
+    ("event", "1"),
+    ("event", "4"),
+];
+
+/// Renders `f` at every matrix point and asserts all outputs are
+/// byte-identical, returning the common value.
+fn assert_matrix_identical<R: PartialEq + std::fmt::Debug>(
+    what: &str,
+    f: impl Fn() -> R,
+) -> R {
+    let reference = with_knobs(Some(MATRIX[0].1), Some(MATRIX[0].0), &f);
+    for (engine, threads) in &MATRIX[1..] {
+        let got = with_knobs(Some(threads), Some(engine), &f);
+        assert_eq!(
+            reference, got,
+            "{what} diverged at engine={engine} threads={threads}"
+        );
+    }
+    reference
+}
+
+/// The full paper regeneration — every figure and table — is
+/// byte-identical across the engine/thread matrix *and* equal to the
+/// committed `paper_output.txt` snapshot, so switching the engine knob
+/// can never move a digit of the evaluation.
+#[test]
+fn paper_tables_byte_identical_across_engines_and_threads() {
+    let rendered = assert_matrix_identical("paper tables", || {
+        harmonia_bench::all_tables()
+            .iter()
+            .map(|t| format!("{t}\n"))
+            .collect::<String>()
+    });
+    let committed = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../paper_output.txt"
+    ));
+    assert_eq!(
+        rendered, committed,
+        "matrix output drifted from the committed snapshot"
+    );
+}
+
+/// The observability plane exports byte-identically under either engine:
+/// Perfetto JSON, text timeline, merged latency histogram and the driver
+/// report transcript all survive the matrix untouched.
+#[test]
+fn trace_exports_byte_identical_across_engines_and_threads() {
+    let (perfetto, text, _histogram, reports) =
+        assert_matrix_identical("trace capture", || {
+            let run = harmonia_bench::trace_run::capture(4);
+            (
+                run.trace.export_perfetto(),
+                run.trace.export_text(),
+                run.histogram.clone(),
+                run.reports.join("\n"),
+            )
+        });
+    // The capture is non-trivial under every matrix point: lanes traced,
+    // faults visible, well-formed export.
+    assert!(text.contains("cmd-retry"), "link flap must force retries");
+    assert!(perfetto.starts_with('{') && perfetto.trim_end().ends_with('}'));
+    assert_eq!(reports.lines().count(), 4, "one report per scenario");
+}
+
+/// One self-contained fault campaign (same shape as
+/// `parallel_equivalence`): a seeded plan mixing scheduled link-flap +
+/// credit-stall events with background drop/corrupt/irq-lost rates,
+/// driven through the resilient bring-up + monitoring workflow. Returns
+/// a rendered transcript for byte-exact comparison.
+fn fault_campaign(seed: u64) -> String {
+    use harmonia::cmd::{CommandCode, UnifiedControlKernel};
+    use harmonia::host::{CommandDriver, DmaEngine, DriverError};
+    use harmonia::hw::device::catalog;
+    use harmonia::hw::ip::PcieDmaIp;
+    use harmonia::hw::Vendor;
+    use harmonia::shell::{MemoryDemand, RoleSpec, TailoredShell, UnifiedShell};
+    use harmonia::sim::{FaultKind, FaultPlan, FaultRates};
+
+    let dev = catalog::device_a();
+    let unified = UnifiedShell::for_device(&dev);
+    let role = RoleSpec::builder("engine-campaign")
+        .network_gbps(100)
+        .network_ports(1)
+        .memory(MemoryDemand::Ddr { channels: 1 })
+        .build();
+    let mut shell = TailoredShell::tailor(&unified, &role).unwrap();
+    let mut kernel = UnifiedControlKernel::new(64);
+    kernel.attach_shell(shell.rbbs().iter().map(|r| r.as_ref()));
+    let (gen, lanes) = dev.pcie().unwrap();
+    let mut drv = CommandDriver::new(
+        DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, gen, lanes)),
+        kernel,
+    );
+    let plan = FaultPlan::new()
+        .at(0, FaultKind::LinkDown)
+        .at(30_000_000, FaultKind::LinkUp)
+        .at(50_000_000, FaultKind::PcieCreditStall { beats: 1_000 })
+        .with_rates(
+            seed,
+            FaultRates {
+                cmd_drop: 0.05,
+                cmd_corrupt: 0.05,
+                irq_lost: 0.05,
+                ecc: 0.0,
+            },
+        );
+    let inj = plan.injector();
+    drv.set_fault_injector(inj.clone());
+    drv.init_shell_resilient(&mut shell).unwrap();
+    for _ in 0..16 {
+        match drv.cmd_raw_resilient(0, 0, CommandCode::HealthRead, Vec::new()) {
+            Ok(_) | Err(DriverError::GaveUp { .. }) => {}
+            Err(e) => panic!("campaign must converge, got {e}"),
+        }
+    }
+    let _ = drv.read_all_stats_resilient(&shell).unwrap();
+    assert!(drv.report().converged(), "seed {seed}: {}", drv.report());
+    format!(
+        "seed={seed} {} acked={:?} {}",
+        drv.report(),
+        drv.acked_log(),
+        inj.report()
+    )
+}
+
+/// Seeded fault-campaign reports are byte-identical across the engine
+/// matrix: the fault plane consults in the same order under either
+/// scheduler, at any pool width.
+#[test]
+fn fault_campaign_reports_byte_identical_across_engines_and_threads() {
+    let transcript = assert_matrix_identical("fault campaigns", || {
+        harmonia::sim::exec::par_map(0u64..8, fault_campaign).join("\n")
+    });
+    assert_eq!(transcript.lines().count(), 8, "one transcript per seed");
+    // The campaigns exercised the fault plane, not a degenerate no-op.
+    assert!(transcript.contains("retries="), "{transcript}");
+    assert!(
+        !transcript.contains("retries=0 timeouts=0 nacks=0 gave-up=0"),
+        "no campaign observed any fault:\n{transcript}"
+    );
+}
+
+/// The knob really selects the engine: the matrix above only means
+/// something if `Engine::from_env` reads what `with_knobs` pins.
+#[test]
+fn engine_env_knob_selects_the_engine() {
+    assert_eq!(with_knobs(None, None, Engine::from_env), Engine::Cycle);
+    assert_eq!(
+        with_knobs(None, Some("cycle"), Engine::from_env),
+        Engine::Cycle
+    );
+    assert_eq!(
+        with_knobs(None, Some("event"), Engine::from_env),
+        Engine::Event
+    );
+}
+
+/// The committed `BENCH_paper.json` must show the event engine's full
+/// sweep no slower than the cycle engine's at the same pool width — the
+/// skip-ahead scheduler is a performance feature, and this pins the
+/// acceptance criterion to the committed artifact.
+#[test]
+fn committed_bench_shows_event_engine_no_slower() {
+    let json = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_paper.json"
+    ));
+    let median = |name: &str| -> f64 {
+        let entry = json
+            .lines()
+            .find(|l| l.contains(&format!("\"name\": \"{name}\"")))
+            .unwrap_or_else(|| panic!("BENCH_paper.json is missing {name}"));
+        let field = entry
+            .split("\"median_ns\": ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .unwrap_or_else(|| panic!("{name} entry has no median_ns"));
+        field.trim().parse().expect("median_ns parses as f64")
+    };
+    assert!(
+        median("full_sweep_event_serial") <= median("full_sweep_serial"),
+        "event engine slower than cycle engine (serial sweep)"
+    );
+    assert!(
+        median("full_sweep_event_parallel") <= median("full_sweep_parallel"),
+        "event engine slower than cycle engine (parallel sweep)"
+    );
+}

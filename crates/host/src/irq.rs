@@ -8,6 +8,7 @@
 //! immediately once a batch threshold is reached). This module models that
 //! policy and quantifies the interrupt-rate / latency trade-off.
 
+use harmonia_sim::event::WakeSource;
 use harmonia_sim::Picos;
 
 /// Interrupt moderation policy.
@@ -140,6 +141,12 @@ impl IrqModerator {
         }
     }
 
+    /// Absolute time the coalescing timer will fire for the oldest
+    /// pending event, or `None` when nothing is pending.
+    pub fn timer_deadline_ps(&self) -> Option<Picos> {
+        (self.pending > 0).then(|| self.oldest_ps + self.policy.max_wait_ps)
+    }
+
     /// Runs a uniform event stream: `count` events `gap_ps` apart.
     pub fn run_uniform(policy: IrqModeration, gap_ps: Picos, count: u64) -> IrqReport {
         let mut m = IrqModerator::new(policy);
@@ -151,9 +158,34 @@ impl IrqModerator {
     }
 }
 
+/// An event-driven host loop sleeps until the coalescing timer expires
+/// instead of polling the moderator every tick; with nothing pending the
+/// moderator is quiescent until external events arrive.
+impl WakeSource for IrqModerator {
+    fn next_wake(&self, now: Picos) -> Option<Picos> {
+        self.timer_deadline_ps().map(|d| d.max(now))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wake_source_is_the_pending_timer_deadline() {
+        let mut m = IrqModerator::new(IrqModeration {
+            max_wait_ps: 5_000,
+            batch_threshold: 64,
+        });
+        assert_eq!(m.next_wake(0), None, "nothing pending, nothing to wake for");
+        m.event(1_000);
+        assert_eq!(m.next_wake(1_000), Some(6_000));
+        // A caller already past the deadline must still be woken "now",
+        // never in the past.
+        assert_eq!(m.next_wake(7_000), Some(7_000));
+        m.flush(10_000);
+        assert_eq!(m.next_wake(10_000), None);
+    }
 
     #[test]
     fn immediate_policy_interrupts_every_event() {

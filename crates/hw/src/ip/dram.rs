@@ -10,6 +10,7 @@
 //! results: sequential ≫ random throughput (Figs 10c, 18c) and the benefit
 //! of interleaving (ablation benches).
 
+use harmonia_sim::event::WakeSource;
 use harmonia_sim::{FaultInjector, Picos, TraceCollector, TraceEventKind};
 use std::collections::VecDeque;
 
@@ -332,6 +333,14 @@ impl DramModel {
     }
 }
 
+/// An event-driven memory driver sleeps until the data bus frees instead
+/// of polling the channel every controller cycle.
+impl WakeSource for DramModel {
+    fn next_wake(&self, now: Picos) -> Option<Picos> {
+        (self.bus_free_ps > now).then_some(self.bus_free_ps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +350,16 @@ mod tests {
         assert!((DramTiming::ddr4_2400().peak_gbs() - 19.2).abs() < 0.1);
         assert!((DramTiming::ddr3_1600().peak_gbs() - 12.8).abs() < 0.1);
         assert!((DramTiming::hbm2_channel().peak_gbs() - 14.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn wake_source_tracks_bus_occupancy() {
+        let mut m = DramModel::new(DramTiming::ddr4_2400());
+        assert_eq!(m.next_wake(0), None, "idle channel needs no wake");
+        let done = m.access(0, MemOp::read(0, 64));
+        assert_eq!(m.next_wake(0), Some(m.busy_until()));
+        assert!(m.busy_until() <= done);
+        assert_eq!(m.next_wake(done), None, "bus free once the access retires");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! `AsyncFifo` between two clock/width domains
 //! and can simulate a saturated transfer to verify exactly that condition.
 
-use harmonia_sim::{AsyncFifo, ClockDomain, Freq, MultiClock, Picos};
+use harmonia_sim::event::{Engine, EventClock, Wake};
+use harmonia_sim::{AsyncFifo, ClockDomain, ClockEdge, Freq, MultiClock, Picos};
 
 /// Report of a saturated CDC transfer simulation.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -100,63 +101,123 @@ impl ParamCdc {
     /// the writer is narrower, the up-converting gearbox sits in the write
     /// domain (a word completes every `U/M` write beats); when the reader
     /// is narrower, the down-converting gearbox sits in the read domain.
+    ///
+    /// Dispatches on [`Engine::from_env`] (`HARMONIA_ENGINE`); both
+    /// engines produce identical reports — see
+    /// [`simulate_with`](ParamCdc::simulate_with).
     pub fn simulate(&self, window_ps: Picos) -> CdcReport {
-        let mut fifo: AsyncFifo<u32> = AsyncFifo::new(self.depth);
-        let mut mc = MultiClock::new();
-        let w = mc.add(self.rbb_clock);
-        let _r = mc.add(self.user_clock);
-        let wbytes = u64::from(self.rbb_bits / 8);
-        let rbytes = u64::from(self.user_bits / 8);
-        let entry_bytes = wbytes.max(rbytes);
-        let mut report = CdcReport::default();
-        // Write-side gearbox accumulator and a completed word awaiting a
-        // FIFO slot (its presence back-pressures the writer).
-        let mut wacc: u64 = 0;
-        let mut pending_word = false;
-        // Read-side gearbox residue.
-        let mut reader_residue: u64 = 0;
-        for edge in mc.edges_until(window_ps) {
-            if edge.clock == w {
-                fifo.on_write_edge();
-                if pending_word {
-                    if fifo.can_push() {
-                        fifo.try_push(entry_bytes as u32).expect("can_push checked");
-                        pending_word = false;
-                    } else {
-                        // The completed word has nowhere to go: the writer
-                        // cannot accept a new beat this edge.
-                        report.offered += 1;
-                        report.writer_stalls += 1;
-                        continue;
-                    }
+        self.simulate_with(window_ps, Engine::from_env())
+    }
+
+    /// [`simulate`](ParamCdc::simulate) with an explicit engine choice.
+    ///
+    /// A saturated CDC has no quiescent regions — every edge carries a
+    /// beat — so the event engine walks the same edge stream the cycle
+    /// engine does and the two are identical by construction (the per-edge
+    /// body is shared). The differential tests pin it anyway.
+    pub fn simulate_with(&self, window_ps: Picos, engine: Engine) -> CdcReport {
+        let mut run = CdcRun::new(self);
+        match engine {
+            Engine::Cycle => {
+                let mut mc = MultiClock::new();
+                mc.add(self.rbb_clock);
+                mc.add(self.user_clock);
+                for edge in mc.edges_until(window_ps) {
+                    run.on_edge(edge);
                 }
-                report.offered += 1;
-                report.accepted += 1;
-                wacc += wbytes;
-                if wacc >= entry_bytes {
-                    wacc -= entry_bytes;
-                    if fifo.can_push() {
-                        fifo.try_push(entry_bytes as u32).expect("can_push checked");
-                    } else {
-                        pending_word = true;
+            }
+            Engine::Event => {
+                let mut ec = EventClock::new();
+                ec.add(self.rbb_clock);
+                ec.add(self.user_clock);
+                while let Some(wake) = ec.next_wake_before(window_ps) {
+                    if let Wake::Edge(edge) = wake {
+                        run.on_edge(edge);
                     }
-                }
-            } else {
-                fifo.on_read_edge();
-                if reader_residue < rbytes {
-                    if let Some(b) = fifo.try_pop() {
-                        reader_residue += u64::from(b);
-                    }
-                }
-                let take = reader_residue.min(rbytes);
-                if take > 0 {
-                    reader_residue -= take;
-                    report.delivered += 1;
-                    report.bytes_delivered += take;
                 }
             }
         }
-        report
+        run.report
+    }
+}
+
+/// The per-edge transfer body shared by both engines: clock index 0 is
+/// the write (RBB) domain, index 1 the read (user) domain.
+struct CdcRun {
+    fifo: AsyncFifo<u32>,
+    wbytes: u64,
+    rbytes: u64,
+    entry_bytes: u64,
+    /// Write-side gearbox accumulator.
+    wacc: u64,
+    /// A completed word awaiting a FIFO slot (its presence back-pressures
+    /// the writer).
+    pending_word: bool,
+    /// Read-side gearbox residue.
+    reader_residue: u64,
+    report: CdcReport,
+}
+
+impl CdcRun {
+    fn new(cdc: &ParamCdc) -> Self {
+        let wbytes = u64::from(cdc.rbb_bits / 8);
+        let rbytes = u64::from(cdc.user_bits / 8);
+        CdcRun {
+            fifo: AsyncFifo::new(cdc.depth),
+            wbytes,
+            rbytes,
+            entry_bytes: wbytes.max(rbytes),
+            wacc: 0,
+            pending_word: false,
+            reader_residue: 0,
+            report: CdcReport::default(),
+        }
+    }
+
+    fn on_edge(&mut self, edge: ClockEdge) {
+        if edge.clock == 0 {
+            self.fifo.on_write_edge();
+            if self.pending_word {
+                if self.fifo.can_push() {
+                    self.fifo
+                        .try_push(self.entry_bytes as u32)
+                        .expect("can_push checked");
+                    self.pending_word = false;
+                } else {
+                    // The completed word has nowhere to go: the writer
+                    // cannot accept a new beat this edge.
+                    self.report.offered += 1;
+                    self.report.writer_stalls += 1;
+                    return;
+                }
+            }
+            self.report.offered += 1;
+            self.report.accepted += 1;
+            self.wacc += self.wbytes;
+            if self.wacc >= self.entry_bytes {
+                self.wacc -= self.entry_bytes;
+                if self.fifo.can_push() {
+                    self.fifo
+                        .try_push(self.entry_bytes as u32)
+                        .expect("can_push checked");
+                } else {
+                    self.pending_word = true;
+                }
+            }
+        } else {
+            self.fifo.on_read_edge();
+            if self.reader_residue < self.rbytes {
+                if let Some(b) = self.fifo.try_pop() {
+                    self.reader_residue += u64::from(b);
+                }
+            }
+            let take = self.reader_residue.min(self.rbytes);
+            if take > 0 {
+                self.reader_residue -= take;
+                self.report.delivered += 1;
+                self.report.bytes_delivered += take;
+            }
+        }
     }
 }
 
@@ -221,6 +282,21 @@ mod tests {
                 32,
             );
             assert!(cdc.is_lossless());
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_every_shape() {
+        for (s, m, r, u) in [
+            (322u64, 512u32, 322u64, 512u32), // matched
+            (100, 512, 400, 128),             // width/frequency trade
+            (200, 512, 200, 256),             // undersized reader, stalls
+            (100, 128, 400, 128),             // oversized reader
+        ] {
+            let cdc = ParamCdc::new(Freq::mhz(s), m, Freq::mhz(r), u, 16);
+            let cycle = cdc.simulate_with(20 * US, Engine::Cycle);
+            let event = cdc.simulate_with(20 * US, Engine::Event);
+            assert_eq!(cycle, event, "engines diverged for {s}×{m} → {r}×{u}");
         }
     }
 

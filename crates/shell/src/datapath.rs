@@ -7,13 +7,24 @@
 //! counted on exit. Throughput must equal the analytic line-rate goodput
 //! (no bubbles) and per-packet latency must equal serialization plus the
 //! fixed pipeline depths.
+//!
+//! Both simulation engines drive the same per-edge body (`DatapathRun`):
+//! the cycle engine walks every edge of both clocks; the event engine
+//! (`HARMONIA_ENGINE=event`) pauses the MAC clock across provably inert
+//! regions — before the first packet finishes serializing, between packet
+//! arrivals once the crossing FIFO has settled, and permanently after the
+//! last packet is ingested — and the differential tests pin that the two
+//! reports are identical.
 
 use crate::cdc::ParamCdc;
 use harmonia_hw::ip::MacIp;
 use harmonia_hw::ip::VendorIp;
 use harmonia_platform::{InterfaceWrapper, WidthConverter};
+use harmonia_sim::event::{Engine, EventClock, Wake};
 use harmonia_sim::stream::{packet_to_beats, StreamBeat};
-use harmonia_sim::{AsyncFifo, ClockDomain, Freq, LatencyStats, MultiClock, Picos, Pipeline, Throughput};
+use harmonia_sim::{
+    AsyncFifo, ClockDomain, ClockEdge, Freq, LatencyStats, MultiClock, Picos, Pipeline, Throughput,
+};
 use std::collections::VecDeque;
 
 /// Result of a datapath simulation run.
@@ -27,6 +38,11 @@ pub struct DatapathReport {
     pub packets_delivered: u64,
     /// Whether the ingress ever back-pressured onto the wire (a bubble).
     pub ingress_stalled: bool,
+    /// Clock edges the engine actually visited. The cycle engine visits
+    /// every edge of both domains; the event engine skips provably inert
+    /// ones, so a smaller number here with an identical report is the
+    /// skip-ahead working as designed.
+    pub edges_visited: u64,
 }
 
 /// A simulated bump-in-the-wire ingress path.
@@ -69,11 +85,27 @@ impl DatapathSim {
 
     /// Runs `count` back-to-back packets of `packet_bytes` at line rate.
     ///
+    /// Dispatches on [`Engine::from_env`] (`HARMONIA_ENGINE`); see
+    /// [`run_with`](DatapathSim::run_with).
+    ///
     /// # Panics
     ///
     /// Panics if the CDC configuration would be lossy (`S×M > R×U`) — a
     /// mis-sized role domain is a design error the tailoring flow rejects.
     pub fn run(&self, packet_bytes: u32, count: u64) -> DatapathReport {
+        self.run_with(packet_bytes, count, Engine::from_env())
+    }
+
+    /// [`run`](DatapathSim::run) with an explicit engine choice.
+    ///
+    /// The event engine pauses the MAC clock across regions where every
+    /// skipped edge is provably inert (determinism rules in
+    /// `harmonia_sim::event`): the ingress queue is empty *and* the
+    /// crossing FIFO [`is_settled`](AsyncFifo::is_settled), so the skipped
+    /// edges would only re-latch unchanged gray pointers. The user clock
+    /// is never paused — it drains the role pipeline and its edge/cycle
+    /// numbering must stay exact.
+    pub fn run_with(&self, packet_bytes: u32, count: u64, engine: Engine) -> DatapathReport {
         let mac_clock = self.mac.core_clock();
         let mac_width = self.mac.data_width_bits();
         if self.with_harmonia {
@@ -92,103 +124,228 @@ impl DatapathSim {
             );
         }
 
-        // Wire model: packet n's first bit arrives at n × (wire time of one
-        // packet + overhead); serialization finishes a packet later.
-        let wire_ps_per_pkt = (u64::from(packet_bytes) + 20) * 8 * 1000
-            / u64::from(self.mac.speed_gbps());
-
-        let mut mc = MultiClock::new();
-        let mac_clk = mc.add(ClockDomain::new(mac_clock));
-        let _user_clk = mc.add(ClockDomain::new(self.user_clock));
-
-        // Ingress queue of (beat, packet index) the MAC has received off
-        // the wire (fully serialized packets only: store-and-forward MAC).
-        let mut ingress: VecDeque<(StreamBeat, u64)> = VecDeque::new();
-        let mut next_ready_pkt: u64 = 0;
-
-        let mut fifo: AsyncFifo<(StreamBeat, u64)> = AsyncFifo::new(64);
-        let mut converter = WidthConverter::new(mac_width, self.user_width_bits);
-        // Tags for packets whose eop has entered the converter, in order.
-        let mut conv_tags: VecDeque<u64> = VecDeque::new();
-        let mut role_pipe: Pipeline<u64> = Pipeline::new(self.role_pipeline_cycles);
         let wrapper_extra = if self.with_harmonia {
             InterfaceWrapper::wrap(&self.mac, self.user_width_bits).latency_cycles()
         } else {
             0
         };
-        let mut delivery_pipe: Pipeline<u64> = Pipeline::new(wrapper_extra);
-
-        let mut arrivals: Vec<Picos> = Vec::with_capacity(count as usize);
-        let mut latency = LatencyStats::new();
-        let mut throughput = Throughput::new();
-        let mut delivered = 0u64;
-        let mut ingress_stalled = false;
-        let mut last_exit_ps: Picos = 0;
+        let mut run = DatapathRun::new(
+            packet_bytes,
+            count,
+            mac_width,
+            self.user_width_bits,
+            self.role_pipeline_cycles,
+            wrapper_extra,
+            self.mac.speed_gbps(),
+        );
 
         // Run until everything is delivered (bounded by 4× the ideal time).
-        let ideal_ps = wire_ps_per_pkt * count;
-        let deadline = 4 * ideal_ps + 10_000_000;
-        for edge in mc.edges_until(deadline) {
-            if delivered == count {
-                break;
+        let deadline = 4 * run.wire_ps_per_pkt * count + 10_000_000;
+        match engine {
+            Engine::Cycle => {
+                let mut mc = MultiClock::new();
+                let mac_clk = mc.add(ClockDomain::new(mac_clock));
+                let _user_clk = mc.add(ClockDomain::new(self.user_clock));
+                for edge in mc.edges_until(deadline) {
+                    if run.done() {
+                        break;
+                    }
+                    if edge.clock == mac_clk {
+                        run.on_mac_edge(edge);
+                    } else {
+                        run.on_user_edge(edge);
+                    }
+                }
             }
-            if edge.clock == mac_clk {
-                // Wire: packet n fully received at (n+1) × wire time.
-                while next_ready_pkt < count
-                    && edge.at_ps >= (next_ready_pkt + 1) * wire_ps_per_pkt
-                {
-                    arrivals.push(next_ready_pkt * wire_ps_per_pkt);
-                    for beat in packet_to_beats(packet_bytes, mac_width) {
-                        ingress.push_back((beat, next_ready_pkt));
+            Engine::Event => {
+                let mut ec = EventClock::new();
+                let mac_period = ClockDomain::new(mac_clock).period_ps();
+                let mac_clk = ec.add(ClockDomain::new(mac_clock));
+                let user_clk = ec.add(ClockDomain::new(self.user_clock));
+                while let Some(wake) = ec.next_wake_before(deadline) {
+                    if run.done() {
+                        break;
                     }
-                    next_ready_pkt += 1;
-                }
-                fifo.on_write_edge();
-                if let Some(&(beat, tag)) = ingress.front() {
-                    if fifo.can_push() {
-                        fifo.try_push((beat, tag)).expect("can_push checked");
-                        ingress.pop_front();
-                    } else if ingress.len() > 256 {
-                        // Sustained backlog = the path cannot keep line rate.
-                        ingress_stalled = true;
+                    let edge = match wake {
+                        Wake::Edge(e) => e,
+                        Wake::Pin(_) => continue,
+                    };
+                    if edge.clock == mac_clk {
+                        run.on_mac_edge(edge);
+                        // Skip-ahead: with nothing queued on the wire side
+                        // and the crossing FIFO fully settled, every MAC
+                        // edge until the next packet arrival only
+                        // re-latches unchanged pointers — provably inert.
+                        // If the user side is fully drained as well (no
+                        // tags awaiting conversion, both pipelines empty),
+                        // its edges are equally inert and both domains can
+                        // sleep until the next arrival.
+                        if run.ingress.is_empty() && run.fifo.is_settled() {
+                            let user_idle = run.conv_tags.is_empty()
+                                && run.role_pipe.next_exit_cycle().is_none()
+                                && run.delivery_pipe.next_exit_cycle().is_none();
+                            if run.next_ready_pkt >= count {
+                                // No more packets will ever arrive.
+                                ec.pause(mac_clk);
+                                if user_idle {
+                                    ec.pause(user_clk);
+                                }
+                            } else {
+                                let next_arrival =
+                                    (run.next_ready_pkt + 1) * run.wire_ps_per_pkt;
+                                // Only sleep when the gap actually elides
+                                // an edge: a sub-period pause costs more
+                                // (two divisions in `resume_at`) than the
+                                // zero edges it would skip.
+                                if next_arrival > edge.at_ps + mac_period {
+                                    ec.pause(mac_clk);
+                                    ec.resume_at(mac_clk, next_arrival);
+                                    if user_idle {
+                                        ec.pause(user_clk);
+                                        ec.resume_at(user_clk, next_arrival);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        run.on_user_edge(edge);
                     }
-                }
-            } else {
-                // User domain: pop one MAC-width beat, convert, advance the
-                // role pipeline one cycle.
-                fifo.on_read_edge();
-                if let Some((beat, tag)) = fifo.try_pop() {
-                    if beat.eop {
-                        conv_tags.push_back(tag);
-                    }
-                    converter.push(beat);
-                }
-                // Drain converted beats; packet completion enters the role
-                // pipeline at its eop beat.
-                for out in converter.drain() {
-                    if out.eop {
-                        let tag = conv_tags.pop_front().expect("tag per packet");
-                        let _ = role_pipe.push(edge.cycle, tag);
-                    }
-                }
-                if let Some(tag) = role_pipe.pop(edge.cycle) {
-                    let _ = delivery_pipe.push(edge.cycle, tag);
-                }
-                if let Some(tag) = delivery_pipe.pop(edge.cycle) {
-                    let exit_ps = edge.at_ps;
-                    latency.record(exit_ps - arrivals[tag as usize]);
-                    throughput.record(u64::from(packet_bytes), 1);
-                    delivered += 1;
-                    last_exit_ps = exit_ps;
                 }
             }
         }
-        throughput.close(last_exit_ps.max(1));
+        run.into_report()
+    }
+}
+
+/// Per-edge simulation state shared verbatim by both engines.
+struct DatapathRun {
+    packet_bytes: u32,
+    count: u64,
+    mac_width: u32,
+    wire_ps_per_pkt: Picos,
+    /// Ingress queue of (beat, packet index) the MAC has received off the
+    /// wire (fully serialized packets only: store-and-forward MAC).
+    ingress: VecDeque<(StreamBeat, u64)>,
+    next_ready_pkt: u64,
+    fifo: AsyncFifo<(StreamBeat, u64)>,
+    converter: WidthConverter,
+    /// Tags for packets whose eop has entered the converter, in order.
+    conv_tags: VecDeque<u64>,
+    role_pipe: Pipeline<u64>,
+    delivery_pipe: Pipeline<u64>,
+    arrivals: Vec<Picos>,
+    latency: LatencyStats,
+    throughput: Throughput,
+    delivered: u64,
+    ingress_stalled: bool,
+    last_exit_ps: Picos,
+    edges_visited: u64,
+}
+
+impl DatapathRun {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        packet_bytes: u32,
+        count: u64,
+        mac_width: u32,
+        user_width_bits: u32,
+        role_pipeline_cycles: u64,
+        wrapper_extra: u64,
+        speed_gbps: u32,
+    ) -> Self {
+        // Wire model: packet n's first bit arrives at n × (wire time of one
+        // packet + overhead); serialization finishes a packet later.
+        let wire_ps_per_pkt =
+            (u64::from(packet_bytes) + 20) * 8 * 1000 / u64::from(speed_gbps);
+        DatapathRun {
+            packet_bytes,
+            count,
+            mac_width,
+            wire_ps_per_pkt,
+            ingress: VecDeque::new(),
+            next_ready_pkt: 0,
+            fifo: AsyncFifo::new(64),
+            converter: WidthConverter::new(mac_width, user_width_bits),
+            conv_tags: VecDeque::new(),
+            role_pipe: Pipeline::new(role_pipeline_cycles),
+            delivery_pipe: Pipeline::new(wrapper_extra),
+            arrivals: Vec::with_capacity(count as usize),
+            latency: LatencyStats::new(),
+            throughput: Throughput::new(),
+            delivered: 0,
+            ingress_stalled: false,
+            last_exit_ps: 0,
+            edges_visited: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.delivered == self.count
+    }
+
+    fn on_mac_edge(&mut self, edge: ClockEdge) {
+        self.edges_visited += 1;
+        // Wire: packet n fully received at (n+1) × wire time.
+        while self.next_ready_pkt < self.count
+            && edge.at_ps >= (self.next_ready_pkt + 1) * self.wire_ps_per_pkt
+        {
+            self.arrivals.push(self.next_ready_pkt * self.wire_ps_per_pkt);
+            for beat in packet_to_beats(self.packet_bytes, self.mac_width) {
+                self.ingress.push_back((beat, self.next_ready_pkt));
+            }
+            self.next_ready_pkt += 1;
+        }
+        self.fifo.on_write_edge();
+        if let Some(&(beat, tag)) = self.ingress.front() {
+            if self.fifo.can_push() {
+                self.fifo.try_push((beat, tag)).expect("can_push checked");
+                self.ingress.pop_front();
+            } else if self.ingress.len() > 256 {
+                // Sustained backlog = the path cannot keep line rate.
+                self.ingress_stalled = true;
+            }
+        }
+    }
+
+    fn on_user_edge(&mut self, edge: ClockEdge) {
+        self.edges_visited += 1;
+        // User domain: pop one MAC-width beat, convert, advance the role
+        // pipeline one cycle.
+        self.fifo.on_read_edge();
+        if let Some((beat, tag)) = self.fifo.try_pop() {
+            if beat.eop {
+                self.conv_tags.push_back(tag);
+            }
+            self.converter.push(beat);
+        }
+        // Drain converted beats; packet completion enters the role
+        // pipeline at its eop beat.
+        for out in self.converter.drain() {
+            if out.eop {
+                let tag = self.conv_tags.pop_front().expect("tag per packet");
+                let _ = self.role_pipe.push(edge.cycle, tag);
+            }
+        }
+        if let Some(tag) = self.role_pipe.pop(edge.cycle) {
+            let _ = self.delivery_pipe.push(edge.cycle, tag);
+        }
+        if let Some(tag) = self.delivery_pipe.pop(edge.cycle) {
+            let exit_ps = edge.at_ps;
+            self.latency.record(exit_ps - self.arrivals[tag as usize]);
+            self.throughput.record(u64::from(self.packet_bytes), 1);
+            self.delivered += 1;
+            self.last_exit_ps = exit_ps;
+        }
+    }
+
+    fn into_report(mut self) -> DatapathReport {
+        self.throughput.close(self.last_exit_ps.max(1));
         DatapathReport {
-            throughput,
-            latency,
-            packets_delivered: delivered,
-            ingress_stalled,
+            throughput: self.throughput,
+            latency: self.latency,
+            packets_delivered: self.delivered,
+            ingress_stalled: self.ingress_stalled,
+            edges_visited: self.edges_visited,
         }
     }
 }
@@ -248,6 +405,57 @@ mod tests {
         let report = s.run(128, 1_000);
         assert_eq!(report.packets_delivered, 1_000);
         assert!(!report.ingress_stalled);
+    }
+
+    #[test]
+    fn engines_agree_on_the_full_report() {
+        for size in [64u32, 256, 1024] {
+            let cycle = sim().run_with(size, 400, Engine::Cycle);
+            let event = sim().run_with(size, 400, Engine::Event);
+            assert_eq!(cycle.packets_delivered, event.packets_delivered, "size {size}");
+            assert_eq!(cycle.ingress_stalled, event.ingress_stalled, "size {size}");
+            // Stats types carry no PartialEq; compare every rendered field.
+            assert_eq!(
+                cycle.throughput.gbps().to_bits(),
+                event.throughput.gbps().to_bits(),
+                "size {size}: throughput diverged"
+            );
+            assert_eq!(
+                cycle.latency.mean_ps().to_bits(),
+                event.latency.mean_ps().to_bits(),
+                "size {size}: mean latency diverged"
+            );
+            assert_eq!(
+                cycle.latency.max(),
+                event.latency.max(),
+                "size {size}: max latency diverged"
+            );
+            assert!(
+                event.edges_visited <= cycle.edges_visited,
+                "size {size}: event engine visited more edges"
+            );
+            if size == 1024 {
+                // Large packets leave real inter-arrival gaps: the event
+                // engine must actually skip, not just match.
+                assert!(
+                    event.edges_visited < cycle.edges_visited * 95 / 100,
+                    "size {size}: no skip-ahead happened ({} vs {})",
+                    event.edges_visited,
+                    cycle.edges_visited
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_without_harmonia_wrapper() {
+        let cycle = sim().without_harmonia().run_with(256, 300, Engine::Cycle);
+        let event = sim().without_harmonia().run_with(256, 300, Engine::Event);
+        assert_eq!(cycle.packets_delivered, event.packets_delivered);
+        assert_eq!(
+            cycle.latency.mean_ps().to_bits(),
+            event.latency.mean_ps().to_bits()
+        );
     }
 
     #[test]

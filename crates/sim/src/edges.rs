@@ -102,7 +102,24 @@ impl MultiClock {
         Some(edge)
     }
 
-    /// Iterates edges in `[current, until_ps)` (half-open window).
+    /// Iterates edges in the **half-open** window `[current, until_ps)`.
+    ///
+    /// An edge falling *exactly* at `until_ps` is excluded and remains
+    /// pending: a subsequent call picks it up as its first edge, so
+    /// consecutive windows `[0, w)`, `[w, 2w)`, … visit every edge exactly
+    /// once with no duplicates at the seams.
+    ///
+    /// ```
+    /// use harmonia_sim::{ClockDomain, Freq, MultiClock};
+    /// let mut mc = MultiClock::new();
+    /// mc.add(ClockDomain::new(Freq::mhz(100))); // edges at 0, 10_000, 20_000, …
+    /// // The edge at exactly until_ps = 10_000 is NOT included…
+    /// let first: Vec<_> = mc.edges_until(10_000).map(|e| e.at_ps).collect();
+    /// assert_eq!(first, vec![0]);
+    /// // …it opens the next window instead.
+    /// let second: Vec<_> = mc.edges_until(20_000).map(|e| e.at_ps).collect();
+    /// assert_eq!(second, vec![10_000]);
+    /// ```
     pub fn edges_until(&mut self, until_ps: Picos) -> EdgesUntil<'_> {
         EdgesUntil { mc: self, until_ps }
     }
@@ -178,6 +195,19 @@ mod tests {
         assert_eq!(e.cycle, 0);
         let e = mc.next_edge().unwrap();
         assert_eq!(e.at_ps, 13_000);
+    }
+
+    #[test]
+    fn edge_at_window_boundary_is_excluded_then_opens_next_window() {
+        let mut mc = MultiClock::new();
+        mc.add(ClockDomain::new(Freq::mhz(100))); // period 10_000 ps
+        // Half-open window: the edge at exactly 20_000 must not appear.
+        let first: Vec<_> = mc.edges_until(20_000).map(|e| e.at_ps).collect();
+        assert_eq!(first, vec![0, 10_000]);
+        // The boundary edge is still pending and leads the next window,
+        // so stitched windows neither drop nor duplicate it.
+        let second: Vec<_> = mc.edges_until(40_000).map(|e| e.at_ps).collect();
+        assert_eq!(second, vec![20_000, 30_000]);
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Event-driven clock-edge generation with component sleep and pins.
+//!
+//! [`EventClock`] produces the *same* `(time, registration-order)` edge
+//! stream as [`MultiClock`](crate::MultiClock) — the differential tests
+//! pin that equivalence — but components drive it event-style instead of
+//! being polled on every edge:
+//!
+//! * a clock whose component is provably quiescent can be
+//!   [`pause`](EventClock::pause)d: its edges stop being generated at all
+//!   and simulated time skips across them;
+//! * [`resume_at`](EventClock::resume_at) re-enters the edge stream at
+//!   the first true edge at or after a target time, with the cycle number
+//!   the skipped edges would have reached — so pipelines and FIFO beats
+//!   keep exact cycle accounting;
+//! * [`pin`](EventClock::pin) forces a [`Wake::Pin`] visit at an absolute
+//!   time even if every clock is paused. Pinning every
+//!   [`FaultPlan`] timestamp
+//!   ([`pin_plan`](EventClock::pin_plan)) is what guarantees skip-ahead
+//!   never jumps over a scheduled fault or a trace span boundary.
+//!
+//! Periodic sources live in a rotor array (one comparison per active
+//! clock per wake, the same cost [`MultiClock`](crate::MultiClock) pays);
+//! aperiodic pins live in the timing-wheel
+//! [`EventQueue`]. The skip-ahead win comes
+//! from paused clocks leaving the rotor entirely.
+
+use super::queue::EventQueue;
+use crate::edges::ClockEdge;
+use crate::fault::FaultPlan;
+use crate::time::{ClockDomain, Picos};
+
+/// One wake-up delivered by [`EventClock::next_wake`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Wake {
+    /// A rising clock edge, identical to what `MultiClock` would emit.
+    Edge(ClockEdge),
+    /// A pinned visit: no clock edge occurs, but the engine must give
+    /// components a chance to observe this instant (fault timestamps,
+    /// trace boundaries).
+    Pin(Picos),
+}
+
+impl Wake {
+    /// The wake's absolute time.
+    pub fn at_ps(&self) -> Picos {
+        match self {
+            Wake::Edge(e) => e.at_ps,
+            Wake::Pin(at) => *at,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClockSource {
+    period_ps: Picos,
+    phase_ps: Picos,
+    next_ps: Picos,
+    cycle: u64,
+    paused: bool,
+    /// Time of the last edge actually delivered, the rewind floor for
+    /// [`EventClock::resume_at`].
+    last_emitted_ps: Option<Picos>,
+}
+
+/// Registration index used for pins: orders after every clock at a tie,
+/// so a pinned visit at time `t` follows all real edges at `t`.
+const PIN_SOURCE: u32 = u32::MAX;
+
+/// Event-driven replacement for [`MultiClock`](crate::MultiClock).
+///
+/// ```
+/// use harmonia_sim::event::{EventClock, Wake};
+/// use harmonia_sim::{ClockDomain, Freq};
+///
+/// let mut ec = EventClock::new();
+/// let fast = ec.add(ClockDomain::new(Freq::mhz(200))); // 5 ns
+/// let slow = ec.add(ClockDomain::new(Freq::mhz(100))); // 10 ns
+/// // Identical stream to MultiClock: t=0 fast, t=0 slow, t=5000 fast…
+/// let w = ec.next_wake().unwrap();
+/// assert_eq!(w, Wake::Edge(harmonia_sim::ClockEdge { clock: fast, cycle: 0, at_ps: 0 }));
+/// let w = ec.next_wake().unwrap();
+/// assert_eq!(w.at_ps(), 0);
+/// // Pausing the slow clock removes its edges from the stream entirely.
+/// ec.pause(slow);
+/// let w = ec.next_wake().unwrap();
+/// assert_eq!(w, Wake::Edge(harmonia_sim::ClockEdge { clock: fast, cycle: 1, at_ps: 5_000 }));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventClock {
+    clocks: Vec<ClockSource>,
+    pins: EventQueue<()>,
+    /// Cached `pins.peek_at()`, kept in sync on every pin insert/pop so
+    /// the hot wake loop never touches the wheel when no pin is due.
+    pin_next: Option<Picos>,
+    now: Picos,
+}
+
+impl EventClock {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a clock starting at time 0; returns its index.
+    pub fn add(&mut self, domain: ClockDomain) -> usize {
+        self.add_with_phase(domain, 0)
+    }
+
+    /// Registers a clock whose first edge occurs at `phase_ps`.
+    pub fn add_with_phase(&mut self, domain: ClockDomain, phase_ps: Picos) -> usize {
+        self.clocks.push(ClockSource {
+            period_ps: domain.period_ps(),
+            phase_ps,
+            next_ps: phase_ps,
+            cycle: 0,
+            paused: false,
+            last_emitted_ps: None,
+        });
+        self.clocks.len() - 1
+    }
+
+    /// Number of registered clocks.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether no clocks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Time of the most recent wake.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Stops generating edges for clock `idx`.
+    ///
+    /// Only pause a clock whose component is *provably quiescent*: every
+    /// edge that would have fired must be observationally inert (see the
+    /// determinism rules in DESIGN.md). The engine cannot check that —
+    /// the differential tests do.
+    #[inline]
+    pub fn pause(&mut self, idx: usize) {
+        self.clocks[idx].paused = true;
+    }
+
+    /// Whether clock `idx` is currently paused.
+    #[inline]
+    pub fn is_paused(&self, idx: usize) -> bool {
+        self.clocks[idx].paused
+    }
+
+    /// Schedules clock `idx`'s next edge at its first true edge at or
+    /// after `at_ps` (clamped to `now`), restoring the cycle number the
+    /// skipped edges would have reached.
+    ///
+    /// This both *advances* a paused clock past a dead region and
+    /// *rewinds* a sleep scheduled too far out (a fault pin landing
+    /// inside the sleep window needs the clock back sooner). Edges that
+    /// were already emitted are never re-emitted: the recomputed edge is
+    /// clamped strictly after the last one this clock delivered.
+    #[inline]
+    pub fn resume_at(&mut self, idx: usize, at_ps: Picos) {
+        let target = at_ps.max(self.now);
+        let c = &mut self.clocks[idx];
+        c.paused = false;
+        // Fast path for short sleeps (the common skip-ahead shape: a
+        // component dozes a few periods between arrivals): step the
+        // pending edge forward instead of paying two divisions.
+        if target > c.next_ps && target - c.next_ps <= 16 * c.period_ps {
+            while c.next_ps < target {
+                c.next_ps += c.period_ps;
+                c.cycle += 1;
+            }
+            return;
+        }
+        // First true edge at or after the target…
+        let mut cycle = if target <= c.phase_ps {
+            0
+        } else {
+            (target - c.phase_ps).div_ceil(c.period_ps)
+        };
+        // …but never one already emitted.
+        if let Some(last) = c.last_emitted_ps {
+            cycle = cycle.max((last - c.phase_ps) / c.period_ps + 1);
+        }
+        c.cycle = cycle;
+        c.next_ps = c.phase_ps + cycle * c.period_ps;
+    }
+
+    /// Pins a [`Wake::Pin`] visit at absolute time `at_ps` (if it is not
+    /// already in the past).
+    pub fn pin(&mut self, at_ps: Picos) {
+        if at_ps >= self.now {
+            self.pins.schedule(at_ps, PIN_SOURCE, ());
+            if self.pin_next.map_or(true, |p| at_ps < p) {
+                self.pin_next = Some(at_ps);
+            }
+        }
+    }
+
+    /// Pins every scheduled timestamp of `plan`, so skip-ahead can never
+    /// jump over a fault event.
+    pub fn pin_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.pin(ev.at);
+        }
+    }
+
+    /// Returns the next wake in global `(time, registration order)`
+    /// order, advancing the engine. `None` when every clock is paused
+    /// (or none are registered) and no pins remain.
+    #[inline]
+    pub fn next_wake(&mut self) -> Option<Wake> {
+        self.next_wake_bounded(None)
+    }
+
+    /// [`next_wake`](EventClock::next_wake) bounded by a half-open window:
+    /// wakes at or after `until_ps` are left in place and `None` is
+    /// returned, mirroring `MultiClock::edges_until`.
+    #[inline]
+    pub fn next_wake_before(&mut self, until_ps: Picos) -> Option<Wake> {
+        self.next_wake_bounded(Some(until_ps))
+    }
+
+    /// Single-pass core for both entry points: one rotor scan, one pin
+    /// peek, and the bound check happens on the winner *before* anything
+    /// advances — so a wake at or past the bound stays pending. This is
+    /// the engine's hot loop; keeping it one scan is what lets the event
+    /// engine beat the cycle engine even before any skip-ahead.
+    #[inline]
+    fn next_wake_bounded(&mut self, until_ps: Option<Picos>) -> Option<Wake> {
+        let mut best: Option<(Picos, usize)> = None;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if c.paused {
+                continue;
+            }
+            match best {
+                Some((t, _)) if t <= c.next_ps => {}
+                _ => best = Some((c.next_ps, i)),
+            }
+        }
+        match (best, self.pin_next) {
+            // Edges win ties against pins: PIN_SOURCE orders last.
+            (Some((t, idx)), pin) if pin.map_or(true, |p| t <= p) => {
+                if until_ps.is_some_and(|b| t >= b) {
+                    return None;
+                }
+                let c = &mut self.clocks[idx];
+                let edge = ClockEdge {
+                    clock: idx,
+                    cycle: c.cycle,
+                    at_ps: c.next_ps,
+                };
+                c.last_emitted_ps = Some(c.next_ps);
+                c.cycle += 1;
+                c.next_ps += c.period_ps;
+                self.now = t;
+                Some(Wake::Edge(edge))
+            }
+            (_, Some(p)) => {
+                if until_ps.is_some_and(|b| p >= b) {
+                    return None;
+                }
+                self.pins.pop();
+                self.pin_next = self.pins.peek_at();
+                self.now = p;
+                Some(Wake::Pin(p))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::MultiClock;
+    use crate::fault::FaultKind;
+    use crate::time::Freq;
+
+    fn drain_edges(ec: &mut EventClock, until: Picos) -> Vec<ClockEdge> {
+        let mut out = Vec::new();
+        while let Some(w) = ec.next_wake_before(until) {
+            if let Wake::Edge(e) = w {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_multiclock_stream_exactly() {
+        let domains = [Freq::mhz(322), Freq::mhz(250), Freq::khz(390_625)];
+        let mut mc = MultiClock::new();
+        let mut ec = EventClock::new();
+        for d in domains {
+            mc.add(ClockDomain::new(d));
+            ec.add(ClockDomain::new(d));
+        }
+        let reference: Vec<ClockEdge> = mc.edges_until(1_000_000).collect();
+        assert_eq!(drain_edges(&mut ec, 1_000_000), reference);
+    }
+
+    #[test]
+    fn phase_offsets_match_multiclock() {
+        let mut mc = MultiClock::new();
+        let mut ec = EventClock::new();
+        for (mhz, phase) in [(100u64, 3_000u64), (100, 0), (417, 1)] {
+            mc.add_with_phase(ClockDomain::new(Freq::mhz(mhz)), phase);
+            ec.add_with_phase(ClockDomain::new(Freq::mhz(mhz)), phase);
+        }
+        let reference: Vec<ClockEdge> = mc.edges_until(200_000).collect();
+        assert_eq!(drain_edges(&mut ec, 200_000), reference);
+    }
+
+    #[test]
+    fn pause_skips_edges_and_resume_restores_cycle_numbers() {
+        let mut ec = EventClock::new();
+        let clk = ec.add(ClockDomain::new(Freq::mhz(100))); // 10 ns
+        assert_eq!(ec.next_wake().unwrap().at_ps(), 0);
+        ec.pause(clk);
+        assert!(ec.next_wake().is_none(), "paused clock generates nothing");
+        // Resume at 95 ns: the next true edge is cycle 10 at 100 ns.
+        ec.resume_at(clk, 95_000);
+        match ec.next_wake().unwrap() {
+            Wake::Edge(e) => {
+                assert_eq!(e.at_ps, 100_000);
+                assert_eq!(e.cycle, 10);
+            }
+            w => panic!("expected an edge, got {w:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_on_exact_edge_lands_on_it() {
+        let mut ec = EventClock::new();
+        let clk = ec.add(ClockDomain::new(Freq::mhz(100)));
+        ec.next_wake();
+        ec.pause(clk);
+        ec.resume_at(clk, 50_000); // exactly cycle 5
+        match ec.next_wake().unwrap() {
+            Wake::Edge(e) => assert_eq!((e.at_ps, e.cycle), (50_000, 5)),
+            w => panic!("expected an edge, got {w:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_rewinds_an_oversized_sleep_without_double_emission() {
+        let mut ec = EventClock::new();
+        let clk = ec.add(ClockDomain::new(Freq::mhz(100)));
+        ec.next_wake(); // edge 0 at t=0
+        // Sleep until 4 µs, then discover (via a pin) that something
+        // happens at 3.456789 µs: the next edge must come back to 3.46 µs.
+        ec.pause(clk);
+        ec.resume_at(clk, 4_000_000);
+        ec.resume_at(clk, 3_456_789);
+        match ec.next_wake().unwrap() {
+            Wake::Edge(e) => assert_eq!((e.at_ps, e.cycle), (3_460_000, 346)),
+            w => panic!("expected an edge, got {w:?}"),
+        }
+        // Rewinding to before the already-emitted edge must not replay it.
+        ec.resume_at(clk, 0);
+        match ec.next_wake().unwrap() {
+            Wake::Edge(e) => assert_eq!((e.at_ps, e.cycle), (3_470_000, 347)),
+            w => panic!("expected an edge, got {w:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_never_rewinds_a_pending_edge() {
+        let mut ec = EventClock::new();
+        let clk = ec.add(ClockDomain::new(Freq::mhz(100)));
+        ec.next_wake(); // edge 0 at t=0; next pending is 10_000
+        ec.resume_at(clk, 0); // must not reschedule behind the pending edge
+        match ec.next_wake().unwrap() {
+            Wake::Edge(e) => assert_eq!((e.at_ps, e.cycle), (10_000, 1)),
+            w => panic!("expected an edge, got {w:?}"),
+        }
+    }
+
+    #[test]
+    fn pins_fire_even_with_all_clocks_paused() {
+        let mut ec = EventClock::new();
+        let clk = ec.add(ClockDomain::new(Freq::mhz(100)));
+        ec.pause(clk);
+        ec.pin(12_345);
+        ec.pin(500);
+        assert_eq!(ec.next_wake(), Some(Wake::Pin(500)));
+        assert_eq!(ec.next_wake(), Some(Wake::Pin(12_345)));
+        assert_eq!(ec.next_wake(), None);
+    }
+
+    #[test]
+    fn edge_beats_pin_at_the_same_time() {
+        let mut ec = EventClock::new();
+        ec.add(ClockDomain::new(Freq::mhz(100)));
+        ec.pin(10_000);
+        ec.next_wake(); // edge 0
+        match ec.next_wake().unwrap() {
+            Wake::Edge(e) => assert_eq!(e.at_ps, 10_000),
+            w => panic!("edge must precede the pin, got {w:?}"),
+        }
+        assert_eq!(ec.next_wake(), Some(Wake::Pin(10_000)));
+    }
+
+    #[test]
+    fn pin_plan_pins_every_fault_timestamp() {
+        let plan = FaultPlan::new()
+            .at(400, FaultKind::LinkDown)
+            .at(100, FaultKind::EccError)
+            .at(400, FaultKind::LinkUp);
+        let mut ec = EventClock::new();
+        ec.pin_plan(&plan);
+        let pins: Vec<Picos> = std::iter::from_fn(|| ec.next_wake())
+            .map(|w| w.at_ps())
+            .collect();
+        assert_eq!(pins, vec![100, 400, 400]);
+    }
+
+    #[test]
+    fn window_boundary_is_half_open() {
+        let mut ec = EventClock::new();
+        ec.add(ClockDomain::new(Freq::mhz(100)));
+        let edges = drain_edges(&mut ec, 10_000);
+        assert_eq!(edges.len(), 1, "edge exactly at until_ps is excluded");
+        assert_eq!(edges[0].at_ps, 0);
+    }
+
+    #[test]
+    fn empty_engine_yields_nothing() {
+        let mut ec = EventClock::new();
+        assert!(ec.next_wake().is_none());
+        assert!(ec.next_wake_before(1_000).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Discrete-event simulation engine.
+//!
+//! The cycle-stepped engine ([`MultiClock`](crate::MultiClock)) walks
+//! every clock edge in a window and polls every component on every edge,
+//! even when nothing can happen. This module is the event-driven
+//! alternative from ROADMAP item 1:
+//!
+//! * [`EventQueue`] — a hierarchical timing wheel over the [`Picos`]
+//!   timeline with a calendar-heap overflow, popping events in the
+//!   deterministic total order `(time, source, seq)` where `source` is a
+//!   registration index (the same tie-break rule `MultiClock` uses) and
+//!   `seq` a monotonic schedule counter;
+//! * [`EventClock`] — the edge generator built on it: components that
+//!   are provably quiescent pause their clock instead of being polled,
+//!   and simulated time skips across the dead region;
+//! * [`Wake`] — what the engine delivers: a real
+//!   [`ClockEdge`](crate::ClockEdge)
+//!   (`Wake::Edge`) or a pinned visit (`Wake::Pin`) that forces the
+//!   engine to land on a [`FaultPlan`](crate::fault::FaultPlan)
+//!   timestamp or trace boundary inside a skipped region;
+//! * [`Engine`] — the `HARMONIA_ENGINE={cycle,event}` selection knob.
+//!   Both engines ship side by side and are pinned byte-identical by the
+//!   differential suites (`engine_equivalence.rs`,
+//!   `engine_fault_trace.rs`).
+//!
+//! # Determinism contract
+//!
+//! The event engine must be *observationally indistinguishable* from the
+//! cycle engine: identical paper tables, identical trace exports,
+//! identical fault reports, at any `HARMONIA_THREADS`. A component model
+//! may only skip (pause its clock across) a region when every skipped
+//! edge is provably inert — see DESIGN.md for the full rules. In short:
+//!
+//! 1. no FIFO pointer or synchronizer flop may change across the region
+//!    (for an [`AsyncFifo`](crate::AsyncFifo), `is_settled()` plus "no
+//!    pushes arrive during the window");
+//! 2. no pipeline stage may hold an in-flight item
+//!    ([`Pipeline::next_exit_cycle`](crate::Pipeline::next_exit_cycle)
+//!    must be `None` or beyond the region);
+//! 3. no observable counter, histogram, or trace event may be produced
+//!    by the skipped edges;
+//! 4. every `FaultPlan` timestamp inside the region must be pinned
+//!    ([`EventClock::pin_plan`]) so fault consults happen at the same
+//!    simulated time as the cycle engine would perform them.
+
+use crate::time::Picos;
+
+pub mod clock;
+pub mod queue;
+
+pub use clock::{EventClock, Wake};
+pub use queue::{EventKey, EventQueue};
+
+/// Environment variable selecting the simulation engine.
+///
+/// * unset or `"cycle"` — the cycle-stepped `MultiClock` loops (default);
+/// * `"event"` — the event-driven `EventClock` paths with skip-ahead.
+///
+/// Any other value panics: a silently misread knob would invalidate a
+/// differential run.
+pub const ENGINE_ENV: &str = "HARMONIA_ENGINE";
+
+/// Which simulation engine drives edge loops.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Poll every component on every clock edge (`MultiClock`).
+    #[default]
+    Cycle,
+    /// Components schedule wakes; quiescent regions are skipped
+    /// (`EventClock`).
+    Event,
+}
+
+impl Engine {
+    /// Reads [`ENGINE_ENV`], defaulting to [`Engine::Cycle`].
+    ///
+    /// Re-read on every call (like `HARMONIA_THREADS`) so tests can flip
+    /// the knob between runs in one process.
+    pub fn from_env() -> Self {
+        match std::env::var(ENGINE_ENV) {
+            Err(_) => Engine::Cycle,
+            Ok(v) => match v.trim() {
+                "" | "cycle" => Engine::Cycle,
+                "event" => Engine::Event,
+                other => panic!("{ENGINE_ENV} must be \"cycle\" or \"event\", got {other:?}"),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Cycle => "cycle",
+            Engine::Event => "event",
+        })
+    }
+}
+
+/// A component that can report when it next needs service.
+///
+/// IP models implement this so an event-driven driver can sleep until
+/// the earliest wake instead of polling. `None` means "idle until new
+/// external input arrives" — the driver may skip the component entirely
+/// until it hands it more work.
+pub trait WakeSource {
+    /// Earliest future time (>= `now`) at which the component's state
+    /// can change on its own, or `None` if it is quiescent.
+    fn next_wake(&self, now: Picos) -> Option<Picos>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Engine::from_env is env-dependent; the env-flipping tests live in
+    // the bench crate's differential suite where an env lock serializes
+    // them. Here we only check the pure parts.
+
+    #[test]
+    fn engine_default_is_cycle() {
+        assert_eq!(Engine::default(), Engine::Cycle);
+    }
+
+    #[test]
+    fn engine_display_matches_knob_values() {
+        assert_eq!(Engine::Cycle.to_string(), "cycle");
+        assert_eq!(Engine::Event.to_string(), "event");
+    }
+}

@@ -1,0 +1,368 @@
+//! Timing-wheel event queue with a calendar overflow level.
+//!
+//! The queue holds typed events at absolute [`Picos`] timestamps and pops
+//! them in total order by `(time, source, seq)`:
+//!
+//! * `time` — the scheduled picosecond;
+//! * `source` — the scheduling component's registration index, so ties
+//!   between components resolve by registration order, exactly matching
+//!   [`MultiClock`](crate::MultiClock)'s rule;
+//! * `seq` — a monotonically increasing schedule counter, so ties within
+//!   one source resolve in schedule order.
+//!
+//! Near events (within `slot_ps × slots` of the cursor) live in a
+//! power-of-two timing wheel: one bucket per `slot_ps` of timeline,
+//! indexed by `(time / slot_ps) % slots`. Far events live in an overflow
+//! binary heap and are *promoted* into the wheel as the cursor's window
+//! reaches them. When the wheel drains completely the cursor jumps
+//! straight to the earliest overflow event — the queue-level form of the
+//! engine's skip-ahead.
+
+use crate::time::Picos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total order of a scheduled event: `(at, source, seq)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Absolute simulation time.
+    pub at: Picos,
+    /// Registration index of the scheduling source (ties break low-first).
+    pub source: u32,
+    /// Monotonic schedule counter (ties within a source break oldest-first).
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: EventKey,
+    payload: T,
+}
+
+/// Heap entries compare by key only; the payload never participates.
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A timing wheel over the picosecond timeline with calendar overflow.
+///
+/// ```
+/// use harmonia_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2_000, 0, "late");
+/// q.schedule(1_000, 1, "early");
+/// q.schedule(1_000, 0, "tie: lower source first");
+/// assert_eq!(q.pop().unwrap().1, "tie: lower source first");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    /// One bucket per `slot_ps` of timeline; bucket `i` holds events with
+    /// `(at / slot_ps) % slots == i` inside the cursor's window.
+    slots: Vec<Vec<Entry<T>>>,
+    /// log2 of the bucket granularity in picoseconds.
+    slot_shift: u32,
+    /// Slot-aligned time the cursor has reached; every queued event is at
+    /// or after this.
+    cursor_ps: Picos,
+    /// Events at or beyond `cursor_ps + window` at schedule time.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    /// Entries currently in the wheel (not the overflow).
+    wheel_len: usize,
+    /// Time of the last popped event; scheduling earlier than this panics.
+    now: Picos,
+    next_seq: u64,
+}
+
+/// Default bucket granularity: 4096 ps covers one to two periods of every
+/// clock the framework models (2560–10000 ps).
+const DEFAULT_SLOT_SHIFT: u32 = 12;
+/// Default wheel size: 256 buckets ≈ 1.05 µs of timeline before overflow.
+const DEFAULT_SLOTS: usize = 256;
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates a queue with the default geometry (4096 ps × 256 slots).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_SLOT_SHIFT, DEFAULT_SLOTS)
+    }
+
+    /// Creates a queue with `2^slot_shift` ps buckets and `slots` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two (bucket indexing is a mask)
+    /// or `slot_shift` would overflow the timeline.
+    pub fn with_geometry(slot_shift: u32, slots: usize) -> Self {
+        assert!(
+            slots.is_power_of_two(),
+            "wheel slot count must be a power of two, got {slots}"
+        );
+        assert!(slot_shift < 32, "slot granularity 2^{slot_shift} ps too coarse");
+        EventQueue {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            slot_shift,
+            cursor_ps: 0,
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            now: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn slot_ps(&self) -> Picos {
+        1u64 << self.slot_shift
+    }
+
+    /// Width of the wheel window in picoseconds.
+    fn window_ps(&self) -> Picos {
+        (self.slots.len() as Picos) << self.slot_shift
+    }
+
+    fn slot_of(&self, at: Picos) -> usize {
+        ((at >> self.slot_shift) as usize) & (self.slots.len() - 1)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Time of the last popped event.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at` for registration index
+    /// `source`, returning the event's total-order key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last popped event — the
+    /// simulated past is immutable.
+    pub fn schedule(&mut self, at: Picos, source: u32, payload: T) -> EventKey {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} ps: the queue already popped {} ps",
+            self.now
+        );
+        let key = EventKey {
+            at,
+            source,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        let entry = Entry { key, payload };
+        if at < self.cursor_ps + self.window_ps() {
+            let slot = self.slot_of(at);
+            self.slots[slot].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+        key
+    }
+
+    /// Moves every overflow event that now falls inside the cursor's
+    /// window into its wheel bucket.
+    fn promote(&mut self) {
+        let horizon = self.cursor_ps + self.window_ps();
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if head.key.at >= horizon {
+                break;
+            }
+            let Reverse(entry) = self.overflow.pop().expect("peeked entry present");
+            let slot = self.slot_of(entry.key.at);
+            self.slots[slot].push(entry);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_at(&self) -> Option<Picos> {
+        self.peek_key().map(|k| k.at)
+    }
+
+    /// Total-order key of the next event without removing it.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        let mut best: Option<EventKey> = self.overflow.peek().map(|Reverse(e)| e.key);
+        if self.wheel_len > 0 {
+            let mut cursor = self.cursor_ps;
+            for _ in 0..self.slots.len() {
+                let bucket = &self.slots[self.slot_of(cursor)];
+                if let Some(min) = bucket.iter().map(|e| e.key).min() {
+                    best = Some(match best {
+                        Some(b) if b < min => b,
+                        _ => min,
+                    });
+                    break;
+                }
+                cursor += self.slot_ps();
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the next event in `(time, source, seq)` order.
+    pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        if self.len() == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            // The wheel is dry: jump the cursor straight to the earliest
+            // overflow event (skip-ahead) and promote its whole window.
+            let head = self.overflow.peek().expect("len() > 0").0.key.at;
+            self.cursor_ps = head & !(self.slot_ps() - 1);
+        }
+        self.promote();
+        loop {
+            let slot = self.slot_of(self.cursor_ps);
+            if let Some((idx, _)) = self.slots[slot]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.key)
+            {
+                let entry = self.slots[slot].swap_remove(idx);
+                self.wheel_len -= 1;
+                self.now = entry.key.at;
+                return Some((entry.key, entry.payload));
+            }
+            self.cursor_ps += self.slot_ps();
+            // Crossing a bucket boundary may pull new overflow events into
+            // range; the loop terminates because wheel_len > 0 guarantees
+            // a hit within one rotation.
+            self.promote();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (i, at) in [9_000u64, 1_000, 5_000, 3_000, 7_000].iter().enumerate() {
+            q.schedule(*at, i as u32, *at);
+        }
+        let mut out = Vec::new();
+        while let Some((key, v)) = q.pop() {
+            assert_eq!(key.at, v);
+            out.push(v);
+        }
+        assert_eq!(out, vec![1_000, 3_000, 5_000, 7_000, 9_000]);
+    }
+
+    #[test]
+    fn ties_break_by_source_then_seq() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 2, "src2-first");
+        q.schedule(100, 0, "src0");
+        q.schedule(100, 2, "src2-second");
+        q.schedule(100, 1, "src1");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!["src0", "src1", "src2-first", "src2-second"]);
+    }
+
+    #[test]
+    fn overflow_events_promote_in_order() {
+        // 16 ps buckets × 4 slots = 64 ps window: everything beyond 64 ps
+        // starts in the overflow heap.
+        let mut q = EventQueue::with_geometry(4, 4);
+        q.schedule(1_000_000, 0, "far");
+        q.schedule(10, 0, "near");
+        q.schedule(500_000, 0, "mid");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_while_popping_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 0, 10u64);
+        q.schedule(30, 0, 30);
+        let (k, v) = q.pop().unwrap();
+        assert_eq!(v, 10);
+        // Schedule at the popped time and between pending events.
+        q.schedule(k.at, 0, 10_000);
+        q.schedule(20, 0, 20);
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(rest, vec![10_000, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 0, ());
+        q.pop();
+        q.schedule(99, 0, ());
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_at().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::with_geometry(4, 4);
+        for at in [77u64, 12, 1_000_000, 500] {
+            q.schedule(at, 3, at);
+        }
+        while !q.is_empty() {
+            let peeked = q.peek_key().unwrap();
+            let (popped, _) = q.pop().unwrap();
+            assert_eq!(peeked, popped);
+        }
+    }
+
+    #[test]
+    fn dry_wheel_jumps_cursor_to_overflow() {
+        let mut q = EventQueue::with_geometry(4, 4);
+        q.schedule(1u64 << 40, 0, "very far");
+        // One pop must not walk 2^36 empty buckets.
+        let (key, v) = q.pop().unwrap();
+        assert_eq!((key.at, v), (1u64 << 40, "very far"));
+        assert_eq!(q.now(), 1u64 << 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_slots_rejected() {
+        let _: EventQueue<()> = EventQueue::with_geometry(4, 12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fault/trace interaction across engines: skip-ahead must never jump
+//! over a scheduled `FaultPlan` event or drop a `TraceCollector` span
+//! boundary.
+//!
+//! The scenario is a link watchdog: frames cross a 100 MHz datapath once
+//! per microsecond; every visited edge polls the link state and traces
+//! the first edge that observes each transition; frames consult the
+//! seeded ECC rate. The cycle engine visits every edge. The event engine
+//! sleeps between frames while the link is healthy and polls edge-by-edge
+//! while it is down — and it only stays byte-identical because
+//! `pin_plan` forces a wake at every scheduled fault timestamp, so the
+//! clock resumes in time to observe each transition on the *same edge*
+//! the cycle engine does. The final test removes the pins and shows the
+//! outputs diverge: the pins are load-bearing, not decoration.
+
+use harmonia_sim::event::{EventClock, Wake};
+use harmonia_sim::{
+    ClockDomain, ClockEdge, FaultKind, FaultPlan, FaultRates, FaultReport, Freq, MultiClock,
+    Trace, TraceCollector, TraceEventKind,
+};
+
+const WINDOW_PS: u64 = 20_000_000; // 20 µs
+const PERIOD_PS: u64 = 10_000; // 100 MHz
+const FRAME_EVERY_CYCLES: u64 = 100; // one frame per µs
+
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .at(3_456_789, FaultKind::LinkDown) // deliberately off any edge
+        .at(7_654_321, FaultKind::LinkUp)
+        .at(11_111_111, FaultKind::EccError)
+        .with_rates(
+            0x5eed_cafe,
+            FaultRates {
+                ecc: 0.10,
+                ..FaultRates::default()
+            },
+        )
+}
+
+/// The per-edge watchdog body, shared verbatim by both engines.
+struct Watchdog {
+    injector: harmonia_sim::FaultInjector,
+    trace: TraceCollector,
+    link_was_up: bool,
+    frames_sent: u64,
+    frames_lost: u64,
+    edges_visited: u64,
+}
+
+impl Watchdog {
+    fn new(plan: FaultPlan) -> Self {
+        Watchdog {
+            injector: plan.injector(),
+            trace: TraceCollector::enabled(),
+            link_was_up: true,
+            frames_sent: 0,
+            frames_lost: 0,
+            edges_visited: 0,
+        }
+    }
+
+    /// Polls the link, traces transitions at the observing edge, and on
+    /// frame edges sends one frame. Returns the link state.
+    fn on_edge(&mut self, edge: ClockEdge) -> bool {
+        self.edges_visited += 1;
+        let up = self.injector.link_up(edge.at_ps);
+        if up != self.link_was_up {
+            let kind = if up {
+                FaultKind::LinkUp
+            } else {
+                FaultKind::LinkDown
+            };
+            self.trace
+                .instant(edge.at_ps, TraceEventKind::FaultInjected { kind });
+            self.link_was_up = up;
+        }
+        if edge.cycle % FRAME_EVERY_CYCLES == 0 {
+            self.frames_sent += 1;
+            if up {
+                self.trace.span(
+                    edge.at_ps,
+                    PERIOD_PS,
+                    TraceEventKind::MacFrame {
+                        bytes: 64,
+                        lost: false,
+                    },
+                );
+                if self.injector.ecc_error(edge.at_ps) {
+                    self.trace.span(edge.at_ps, 2 * PERIOD_PS, TraceEventKind::EccScrub);
+                }
+            } else {
+                self.frames_lost += 1;
+                self.trace.span(
+                    edge.at_ps,
+                    0,
+                    TraceEventKind::MacFrame {
+                        bytes: 64,
+                        lost: true,
+                    },
+                );
+            }
+        }
+        up
+    }
+
+    fn finish(self) -> (Trace, FaultReport, u64, u64, u64) {
+        (
+            self.trace.take(),
+            self.injector.report(),
+            self.frames_sent,
+            self.frames_lost,
+            self.edges_visited,
+        )
+    }
+}
+
+fn run_cycle() -> (Trace, FaultReport, u64, u64, u64) {
+    let mut dog = Watchdog::new(plan());
+    let mut mc = MultiClock::new();
+    mc.add(ClockDomain::new(Freq::mhz(100)));
+    for edge in mc.edges_until(WINDOW_PS) {
+        dog.on_edge(edge);
+    }
+    dog.finish()
+}
+
+fn run_event(with_pins: bool) -> (Trace, FaultReport, u64, u64, u64) {
+    let scenario = plan();
+    let mut dog = Watchdog::new(scenario.clone());
+    let mut ec = EventClock::new();
+    let clk = ec.add(ClockDomain::new(Freq::mhz(100)));
+    if with_pins {
+        ec.pin_plan(&scenario);
+    }
+    while let Some(wake) = ec.next_wake_before(WINDOW_PS) {
+        match wake {
+            Wake::Edge(edge) => {
+                let up = dog.on_edge(edge);
+                if up {
+                    // Healthy and idle until the next frame: every skipped
+                    // edge would only poll an unchanging link. Sleep; the
+                    // fault pins below are what guarantee we still wake in
+                    // time for the next transition's observing edge.
+                    let next_frame =
+                        (edge.cycle / FRAME_EVERY_CYCLES + 1) * FRAME_EVERY_CYCLES * PERIOD_PS;
+                    ec.pause(clk);
+                    ec.resume_at(clk, next_frame);
+                }
+                // Link down: poll every edge (degraded mode), exactly like
+                // the cycle engine, so down-consult tallies match.
+            }
+            Wake::Pin(at) => {
+                // A scheduled fault fired somewhere in a skipped region:
+                // resume edge-stepping so the first edge at or after the
+                // fault observes it — the same edge the cycle engine uses.
+                ec.resume_at(clk, at);
+            }
+        }
+    }
+    dog.finish()
+}
+
+#[test]
+fn engines_agree_event_by_event_with_pins() {
+    let (ct, cr, cs, cl, c_edges) = run_cycle();
+    let (et, er, es, el, e_edges) = run_event(true);
+
+    // Fault campaign outcome: identical report, frame for frame.
+    assert_eq!(cr, er, "fault reports diverged");
+    assert_eq!((cs, cl), (es, el), "frame accounting diverged");
+
+    // Trace: identical event-by-event (times, durations, kinds, order) —
+    // no span boundary was dropped or displaced by skip-ahead.
+    assert_eq!(ct.len(), et.len(), "trace lengths diverged");
+    for (a, b) in ct.events().iter().zip(et.events()) {
+        assert_eq!(a, b, "trace event diverged");
+    }
+
+    // Exports are byte-identical too.
+    assert_eq!(ct.export_text(), et.export_text());
+    assert_eq!(ct.export_perfetto(), et.export_perfetto());
+
+    // And the event engine actually skipped: it visited the ~420 edges of
+    // the down window plus one per frame, not all 2000.
+    assert_eq!(c_edges, WINDOW_PS / PERIOD_PS);
+    assert!(
+        e_edges < c_edges / 3,
+        "event engine visited {e_edges} of {c_edges} edges — no skip-ahead happened"
+    );
+}
+
+#[test]
+fn fault_pins_are_load_bearing() {
+    // Without pinning the FaultPlan timestamps, the sleeping engine
+    // overshoots the link-down instant and observes the transition on a
+    // later edge: the trace timestamps and the down-consult tally both
+    // drift. This is exactly the failure mode `pin_plan` exists to stop.
+    let (ct, cr, ..) = run_cycle();
+    let (et, er, ..) = run_event(false);
+    assert_ne!(
+        ct.export_text(),
+        et.export_text(),
+        "unpinned run unexpectedly matched — the pin test lost its teeth"
+    );
+    assert_ne!(cr, er, "unpinned fault report unexpectedly matched");
+}
+
+#[test]
+fn scheduled_faults_all_fire_under_both_engines() {
+    for (_, report, ..) in [run_cycle(), run_event(true)] {
+        assert_eq!(report.link_downs, 1, "LinkDown must fire exactly once");
+        assert!(
+            report.link_down_hits > 0,
+            "down window was never observed"
+        );
+        assert!(report.ecc_errors >= 1, "armed EccError never delivered");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property suites for the event engine's timing-wheel queue.
+//!
+//! The differential harness in `crates/bench` proves the *engines* agree;
+//! these properties prove the queue underneath honours its total-order
+//! contract — `(time, source, seq)`, matching `MultiClock`'s
+//! registration-order tie-break — under arbitrary schedules, including
+//! schedules that straddle the wheel window and spill into the overflow
+//! calendar.
+
+use harmonia_sim::{EventKey, EventQueue};
+use harmonia_testkit::prelude::*;
+use std::collections::BTreeSet;
+
+/// Drains the queue, asserting each popped key agrees with `peek_key`.
+fn drain<T>(q: &mut EventQueue<T>) -> Vec<(EventKey, T)> {
+    let mut out = Vec::new();
+    loop {
+        let peeked = q.peek_key();
+        match q.pop() {
+            Some((key, payload)) => {
+                assert_eq!(peeked, Some(key), "peek/pop disagree");
+                out.push((key, payload));
+            }
+            None => {
+                assert_eq!(peeked, None);
+                return out;
+            }
+        }
+    }
+}
+
+forall! {
+    /// Pop-min ordering: whatever the schedule order, events come back
+    /// sorted by the full `(at, source, seq)` key, none lost.
+    #[test]
+    fn event_queue_pops_in_key_order(
+        events in collection::vec((0u64..2_000_000, 0u32..8), 0..200),
+    ) {
+        let mut q = EventQueue::new();
+        for &(at, source) in &events {
+            q.schedule(at, source, (at, source));
+        }
+        let popped = drain(&mut q);
+        prop_assert_eq!(popped.len(), events.len());
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0, "out of order: {:?}", pair);
+        }
+        // Every popped payload matches its key (no cross-wiring).
+        for (key, (at, source)) in &popped {
+            prop_assert_eq!(key.at, *at);
+            prop_assert_eq!(key.source, *source);
+        }
+    }
+
+    /// Stable tie-break: under heavy time collisions the pop order equals
+    /// a stable sort by `(at, source)` — insertion order (seq) breaks the
+    /// remaining ties, exactly like `MultiClock`'s registration rule.
+    #[test]
+    fn event_queue_tie_break_is_stable(
+        events in collection::vec((0u64..4, 0u32..3), 0..120),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(slot, source)) in events.iter().enumerate() {
+            // Four distinct times × three sources: nearly everything ties.
+            q.schedule(slot * 1_000, source, i);
+        }
+        let popped = drain(&mut q);
+        let mut expected: Vec<(u64, u32, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(slot, source))| (slot * 1_000, source, i))
+            .collect();
+        expected.sort_by_key(|&(at, source, _)| (at, source)); // stable
+        let got: Vec<(u64, u32, usize)> = popped
+            .iter()
+            .map(|&(key, i)| (key.at, key.source, i))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Schedule-while-popping: interleaved schedules and pops agree with
+    /// a sorted-set mirror at every step. New events are scheduled
+    /// relative to the advancing `now`, so pops unlock later schedules.
+    #[test]
+    fn event_queue_schedule_while_popping(
+        ops in collection::vec((any::<bool>(), 0u64..100_000, 0u32..4), 0..300),
+    ) {
+        let mut q = EventQueue::new();
+        let mut mirror: BTreeSet<(u64, u32, u64)> = BTreeSet::new();
+        let mut seq = 0u64;
+        for &(push, delta, source) in &ops {
+            if push || mirror.is_empty() {
+                let at = q.now() + delta;
+                let key = q.schedule(at, source, ());
+                prop_assert_eq!((key.at, key.source), (at, source));
+                mirror.insert((at, source, key.seq));
+                seq += 1;
+                let _ = seq;
+            } else {
+                let (key, ()) = q.pop().expect("mirror non-empty");
+                let min = mirror.pop_first().expect("mirror non-empty");
+                prop_assert_eq!((key.at, key.source, key.seq), min);
+            }
+            prop_assert_eq!(q.len(), mirror.len());
+        }
+        // Drain the rest against the mirror.
+        while let Some((key, ())) = q.pop() {
+            let min = mirror.pop_first().expect("queue had more than mirror");
+            prop_assert_eq!((key.at, key.source, key.seq), min);
+        }
+        prop_assert!(mirror.is_empty(), "mirror had more than queue");
+    }
+
+    /// Wheel-overflow promotion: tiny wheel geometries force most events
+    /// through the overflow calendar and back into the wheel as the
+    /// cursor advances; ordering must survive the round trip.
+    #[test]
+    fn event_queue_wheel_overflow_promotion(
+        slot_shift in 0u32..6,
+        slots_log2 in 1u32..5,
+        events in collection::vec(0u64..1_048_576, 1..150),
+    ) {
+        let mut q = EventQueue::with_geometry(slot_shift, 1usize << slots_log2);
+        for (i, &at) in events.iter().enumerate() {
+            q.schedule(at, (i % 5) as u32, i);
+        }
+        let popped = drain(&mut q);
+        prop_assert_eq!(popped.len(), events.len());
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0, "out of order: {:?}", pair);
+        }
+        // All payloads accounted for.
+        let mut ids: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..events.len()).collect::<Vec<_>>());
+    }
+}
