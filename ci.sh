@@ -35,8 +35,15 @@ cargo bench --no-run --workspace --offline --locked
 echo "==> fault campaigns (smoke): deep randomized fault plans"
 TESTKIT_CASES=128 cargo test -q --offline --locked -p harmonia-host --test fault_campaigns
 
+echo "==> batched command path: host/cmd suites with batching enabled"
+HARMONIA_CMD_BATCH=16 cargo test -q --offline --locked -p harmonia-host -p harmonia-cmd
+
 echo "==> paper bench (smoke): serial vs parallel sweep, both engines"
 TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench paper
 cp target/testkit-bench/BENCH_paper.json .
+
+echo "==> cmdpath bench (smoke): batch x depth sweep, simulated throughput"
+TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench cmdpath
+cp target/testkit-bench/BENCH_cmdpath.json .
 
 echo "==> ci.sh: all gates passed"

@@ -31,28 +31,30 @@ fn with_knobs<R>(threads: Option<&str>, engine: Option<&str>, f: impl FnOnce() -
     with_env(THREADS_ENV, threads, || with_env(ENGINE_ENV, engine, f))
 }
 
+/// One untimed sweep before sampling: the first sweep under a fresh knob
+/// configuration pays pool spin-up and cold caches, which used to land
+/// in the timed window and skew the committed p99 (a lone ~80 ms outlier
+/// against a ~58 ms median for `full_sweep_event_parallel`).
+fn warmed(b: &mut harmonia_testkit::bench::Bencher) {
+    black_box(harmonia_bench::all_tables().len());
+    b.iter(|| black_box(harmonia_bench::all_tables().len()))
+}
+
 fn bench_paper(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
+    // Enough samples that one scheduling hiccup cannot own the p99.
+    g.sample_size(20);
     g.bench_function("full_sweep_serial", |b| {
-        with_knobs(Some("1"), Some("cycle"), || {
-            b.iter(|| black_box(harmonia_bench::all_tables().len()))
-        })
+        with_knobs(Some("1"), Some("cycle"), || warmed(b))
     });
     g.bench_function("full_sweep_parallel", |b| {
-        with_knobs(None, Some("cycle"), || {
-            b.iter(|| black_box(harmonia_bench::all_tables().len()))
-        })
+        with_knobs(None, Some("cycle"), || warmed(b))
     });
     g.bench_function("full_sweep_event_serial", |b| {
-        with_knobs(Some("1"), Some("event"), || {
-            b.iter(|| black_box(harmonia_bench::all_tables().len()))
-        })
+        with_knobs(Some("1"), Some("event"), || warmed(b))
     });
     g.bench_function("full_sweep_event_parallel", |b| {
-        with_knobs(None, Some("event"), || {
-            b.iter(|| black_box(harmonia_bench::all_tables().len()))
-        })
+        with_knobs(None, Some("event"), || warmed(b))
     });
     g.finish();
 }

@@ -1,0 +1,151 @@
+//! The batched-command-path sweep behind `cargo bench --bench cmdpath`.
+//!
+//! Sweeps doorbell batch size × submission-queue depth over a fixed
+//! stream of device health polls and reports *simulated* throughput:
+//! commands per second of modeled time, derived from the driver clock.
+//! Simulated metrics are deterministic — the committed
+//! `BENCH_cmdpath.json` is byte-stable across machines, unlike the
+//! wall-clock artifacts of the other bench groups — which is what lets
+//! the `cmdpath_scaling` test pin the batch=16 ≥ 2× batch=1 speedup.
+
+use harmonia::cmd::{CommandCode, UnifiedControlKernel};
+use harmonia::host::{BatchedCommandDriver, DmaEngine};
+use harmonia::hw::device::catalog;
+use harmonia::hw::ip::PcieDmaIp;
+use harmonia::hw::Vendor;
+
+/// Doorbell batch sizes the sweep covers (1 = the legacy serial path).
+pub const BATCHES: [usize; 4] = [1, 4, 16, 64];
+
+/// Submission-queue depths the sweep covers. A depth below the batch
+/// size caps the effective batch at the ring capacity.
+pub const DEPTHS: [usize; 3] = [16, 64, 256];
+
+/// Health polls issued per sweep point.
+pub const COMMANDS: usize = 256;
+
+/// One measured (batch, depth) point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmdpathPoint {
+    /// Configured doorbell batch size.
+    pub batch: usize,
+    /// Configured SQ/CQ depth.
+    pub depth: usize,
+    /// Commands submitted (all must ack — the sweep runs faultless).
+    pub commands: usize,
+    /// Simulated time to drain the stream, ps.
+    pub sim_ps: u64,
+    /// Commands per second of simulated time.
+    pub sim_cmds_per_sec: f64,
+    /// DMA doorbell bursts rung (0 on the legacy batch=1 path).
+    pub doorbells: u64,
+    /// Completion interrupts raised after coalescing.
+    pub interrupts: u64,
+}
+
+impl CmdpathPoint {
+    /// The `batch=B/depth=D` name this point publishes under.
+    pub fn name(&self) -> String {
+        format!("batch={}/depth={}", self.batch, self.depth)
+    }
+}
+
+/// Runs one sweep point: `COMMANDS` health polls through a fresh driver.
+pub fn run_point(batch: usize, depth: usize) -> CmdpathPoint {
+    let dev = catalog::device_a();
+    let (gen, lanes) = dev.pcie().unwrap();
+    let engine = DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, gen, lanes));
+    let kernel = UnifiedControlKernel::new(64);
+    let mut drv = BatchedCommandDriver::with_depth(engine, kernel, batch, depth);
+    let cmds = (0..COMMANDS)
+        .map(|_| (0u8, 0u8, CommandCode::HealthRead, Vec::new()))
+        .collect();
+    let results = drv.submit(cmds);
+    assert!(
+        results.iter().all(|r| r.is_ok()),
+        "faultless sweep must ack everything"
+    );
+    let sim_ps = drv.clock_ps();
+    CmdpathPoint {
+        batch,
+        depth,
+        commands: COMMANDS,
+        sim_ps,
+        sim_cmds_per_sec: COMMANDS as f64 / (sim_ps as f64 * 1e-12),
+        doorbells: drv.inner().engine_ref().doorbells(),
+        interrupts: drv.irq_report().interrupts,
+    }
+}
+
+/// The full batch × depth sweep, in declaration order.
+pub fn sweep() -> Vec<CmdpathPoint> {
+    let grid: Vec<(usize, usize)> = BATCHES
+        .iter()
+        .flat_map(|&b| DEPTHS.iter().map(move |&d| (b, d)))
+        .collect();
+    harmonia::sim::exec::par_map(grid, |(b, d)| run_point(b, d))
+}
+
+/// Renders the sweep as the `BENCH_cmdpath.json` artifact body.
+///
+/// Hand-rolled like the testkit bench harness's `group_json`; all values
+/// are simulated and therefore byte-stable.
+pub fn sweep_json(points: &[CmdpathPoint]) -> String {
+    let mut out = String::from("{\n  \"group\": \"cmdpath\",\n");
+    out.push_str("  \"unit\": \"simulated\",\n");
+    out.push_str(&format!("  \"commands_per_point\": {COMMANDS},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"batch\": {}, \"depth\": {}, \
+             \"sim_ps\": {}, \"sim_cmds_per_sec\": {:.1}, \
+             \"doorbells\": {}, \"interrupts\": {}}}{}\n",
+            p.name(),
+            p.batch,
+            p.depth,
+            p.sim_ps,
+            p.sim_cmds_per_sec,
+            p.doorbells,
+            p.interrupts,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `sim_cmds_per_sec` for one named point out of a rendered (or
+/// committed) `BENCH_cmdpath.json`. Used by the scaling regression test
+/// against the repo-root artifact.
+pub fn rate_from_json(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let field = "\"sim_cmds_per_sec\": ";
+    let start = line.find(field)? + field.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_rates() {
+        let points = vec![run_point(1, 16), run_point(16, 16)];
+        let json = sweep_json(&points);
+        for p in &points {
+            let got = rate_from_json(&json, &p.name()).unwrap();
+            assert!((got - p.sim_cmds_per_sec).abs() < 0.1, "{got} vs {p:?}");
+        }
+        assert_eq!(rate_from_json(&json, "batch=9/depth=9"), None);
+    }
+
+    #[test]
+    fn legacy_point_rings_no_doorbells() {
+        let p = run_point(1, 64);
+        assert_eq!(p.doorbells, 0, "batch=1 must pin the legacy path");
+        assert_eq!(p.interrupts, 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! time the underlying simulations.
 
 pub mod ablation;
+pub mod cmdpath;
 pub mod fig03;
 pub mod fig10;
 pub mod fig11;

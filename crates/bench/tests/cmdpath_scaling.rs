@@ -1,0 +1,112 @@
+//! Scaling and isolation contracts for the batched command path.
+//!
+//! 1. **Live ≥ 2×** — re-running the sweep in-process, batch=16 must move
+//!    at least twice as many simulated commands per second as batch=1.
+//! 2. **Committed artifact** — the repo-root `BENCH_cmdpath.json` (all
+//!    simulated, hence byte-stable) shows the same speedup; drift means
+//!    the artifact was not regenerated after a command-path change.
+//! 3. **Snapshot isolation** — enabling batching via `HARMONIA_CMD_BATCH`
+//!    must not move a byte of the committed paper snapshot, at any
+//!    engine/thread matrix point: the paper generators never consult the
+//!    knob, and the knob must never leak into their models.
+
+use harmonia::sim::exec::THREADS_ENV;
+use harmonia::sim::ENGINE_ENV;
+use harmonia::host::CMD_BATCH_ENV;
+use harmonia_bench::cmdpath;
+use std::sync::Mutex;
+
+/// Env mutations are process-global; serialize against cargo's parallel
+/// test runner (this file's own lock — other test binaries run in other
+/// processes).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_env<R>(pairs: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let priors: Vec<_> = pairs
+        .iter()
+        .map(|(k, _)| (*k, std::env::var(k).ok()))
+        .collect();
+    let set = |key: &str, value: Option<&str>| match value {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    };
+    for (k, v) in pairs {
+        set(k, *v);
+    }
+    let out = f();
+    for (k, v) in priors {
+        set(k, v.as_deref());
+    }
+    out
+}
+
+#[test]
+fn batch_16_doubles_simulated_throughput_live() {
+    let serial = cmdpath::run_point(1, 64);
+    let batched = cmdpath::run_point(16, 64);
+    assert_eq!(serial.commands, batched.commands);
+    assert!(
+        batched.sim_cmds_per_sec >= 2.0 * serial.sim_cmds_per_sec,
+        "batch=16 at {:.1} cmds/s is under 2x batch=1 at {:.1} cmds/s",
+        batched.sim_cmds_per_sec,
+        serial.sim_cmds_per_sec
+    );
+    // Doorbell batching is where the speedup comes from: one burst per
+    // full batch instead of one delivery per command.
+    assert_eq!(batched.doorbells, (batched.commands / 16) as u64);
+    assert_eq!(serial.doorbells, 0);
+}
+
+#[test]
+fn committed_bench_shows_batch_16_at_least_twice_batch_1() {
+    let committed = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_cmdpath.json"
+    ));
+    let serial = cmdpath::rate_from_json(committed, "batch=1/depth=64")
+        .expect("committed artifact carries batch=1/depth=64");
+    let batched = cmdpath::rate_from_json(committed, "batch=16/depth=64")
+        .expect("committed artifact carries batch=16/depth=64");
+    assert!(
+        batched >= 2.0 * serial,
+        "committed artifact shows only {batched:.1} vs {serial:.1} cmds/s"
+    );
+    // The committed numbers are simulated, so a fresh sweep must
+    // reproduce them exactly; drift means the artifact is stale.
+    let fresh = cmdpath::sweep();
+    let rendered = cmdpath::sweep_json(&fresh);
+    assert_eq!(
+        rendered, committed,
+        "BENCH_cmdpath.json is stale; regenerate with:\n\
+         cargo bench --bench cmdpath && cp target/testkit-bench/BENCH_cmdpath.json ."
+    );
+}
+
+#[test]
+fn paper_snapshot_is_byte_identical_with_batching_enabled() {
+    let committed = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../paper_output.txt"
+    ));
+    for (engine, threads) in [("cycle", "1"), ("cycle", "4"), ("event", "1"), ("event", "4")] {
+        let rendered = with_env(
+            &[
+                (CMD_BATCH_ENV, Some("16")),
+                (ENGINE_ENV, Some(engine)),
+                (THREADS_ENV, Some(threads)),
+            ],
+            || {
+                harmonia_bench::all_tables()
+                    .iter()
+                    .map(|t| format!("{t}\n"))
+                    .collect::<String>()
+            },
+        );
+        assert_eq!(
+            rendered, committed,
+            "HARMONIA_CMD_BATCH=16 moved the paper snapshot at \
+             engine={engine} threads={threads}"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::codes::{CommandCode, SrcId};
 use crate::packet::{CommandPacket, DecodeError, VERSION};
+use crate::queue::{CompletionQueue, CompletionRecord, CompletionStatus, SubmissionQueue};
 use std::collections::btree_map::Entry;
 use harmonia_hw::regfile::{RegOp, RegisterFile};
 use harmonia_hw::resource::ResourceUsage;
@@ -116,6 +117,22 @@ impl From<DecodeError> for KernelError {
 /// the extension to new hardware modules (e.g., i2c) and software"). The
 /// handler receives the request packet and produces the response payload.
 pub type ExtensionHandler = Box<dyn FnMut(&CommandPacket) -> Result<Vec<u32>, KernelError> + Send>;
+
+/// What one [`UnifiedControlKernel::ring_doorbell`] drain produced, in
+/// addition to the records posted on the completion ring.
+#[derive(Debug, Default)]
+pub struct DrainOutcome {
+    /// Descriptors consumed from the submission ring.
+    pub drained: usize,
+    /// Total execution latency of the drained commands, picoseconds
+    /// (what the host's clock advances by for the batch).
+    pub exec_ps: Picos,
+    /// Response packets for [`CompletionStatus::Ok`](crate::queue::CompletionStatus)
+    /// records, keyed by descriptor tag, in drain order.
+    pub responses: Vec<(u32, CommandPacket)>,
+    /// Typed errors for `CompletionStatus::Error` records, keyed by tag.
+    pub errors: Vec<(u32, KernelError)>,
+}
 
 /// The unified control kernel.
 pub struct UnifiedControlKernel {
@@ -374,6 +391,93 @@ impl UnifiedControlKernel {
             self.idem_order.push_back(key);
         }
         Ok(Some(response))
+    }
+
+    /// Doorbell entry for the batched SQ/CQ path: drains up to `n`
+    /// descriptors from the submission ring through the normal
+    /// decode/idempotency/replay machinery, posting one compact
+    /// [`CompletionRecord`] per drained descriptor to the completion
+    /// ring.
+    ///
+    /// Per descriptor, in ring order:
+    ///
+    /// * undecodable bytes post [`CompletionStatus::Nack`] with the stable
+    ///   decode-error code (the NACK packet the single-shot path would
+    ///   have returned is collapsed into the record);
+    /// * executed (or idempotently replayed) commands post
+    ///   [`CompletionStatus::Ok`]; the response packet rides back in
+    ///   [`DrainOutcome::responses`] keyed by tag;
+    /// * typed execution failures post [`CompletionStatus::Error`] with
+    ///   the [`KernelError`] in [`DrainOutcome::errors`] — one bad
+    ///   command must not wedge the rest of the batch.
+    ///
+    /// The drain stops early when the completion ring fills (the host
+    /// hasn't polled; posting would overwrite unread completions) —
+    /// undrained descriptors stay queued for the next doorbell.
+    pub fn ring_doorbell(
+        &mut self,
+        sq: &mut SubmissionQueue,
+        cq: &mut CompletionQueue,
+        n: usize,
+        reply_to: SrcId,
+    ) -> DrainOutcome {
+        let drain_start = self.trace_clock_ps;
+        let mut out = DrainOutcome {
+            drained: 0,
+            exec_ps: 0,
+            responses: Vec::new(),
+            errors: Vec::new(),
+        };
+        for _ in 0..n {
+            if cq.is_full() {
+                break;
+            }
+            let Some(desc) = sq.pop() else { break };
+            out.drained += 1;
+            let status = match self.submit_bytes_or_nack(&desc.bytes, reply_to) {
+                Ok(Some(nack)) => CompletionStatus::Nack {
+                    error_code: nack.data[0],
+                },
+                Ok(None) => {
+                    let before = self.reg_ops_executed;
+                    match self.step() {
+                        Ok(Some(resp)) => {
+                            out.exec_ps +=
+                                Self::command_latency_ps(self.reg_ops_executed - before);
+                            out.responses.push((desc.tag, resp));
+                            CompletionStatus::Ok
+                        }
+                        Ok(None) => unreachable!("descriptor was just submitted"),
+                        Err(e) => {
+                            out.errors.push((desc.tag, e));
+                            CompletionStatus::Error
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Command-buffer backpressure (only reachable with a
+                    // degenerate buffer depth: the drain is one-in-one-out).
+                    out.errors.push((desc.tag, e));
+                    CompletionStatus::Error
+                }
+            };
+            cq.push(CompletionRecord {
+                tag: desc.tag,
+                status,
+                at_ps: self.trace_clock_ps,
+            })
+            .expect("cq fullness was checked before the pop");
+        }
+        if out.drained > 0 {
+            self.trace.span(
+                drain_start,
+                out.exec_ps,
+                TraceEventKind::BatchDrain {
+                    entries: out.drained as u32,
+                },
+            );
+        }
+        out
     }
 
     /// Drains the whole buffer, returning all responses.

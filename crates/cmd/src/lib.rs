@@ -14,12 +14,19 @@
 //!   source/destination ids;
 //! * [`kernel`] — the unified control kernel: buffering, parsing,
 //!   execution, distribution to module register files, response
-//!   encapsulation.
+//!   encapsulation;
+//! * [`queue`] — the SQ/CQ ring pair for the batched command path
+//!   (doorbell batching amortizes per-command delivery cost).
 
 pub mod codes;
 pub mod kernel;
 pub mod packet;
+pub mod queue;
 
 pub use codes::{CommandCode, SrcId};
-pub use kernel::{KernelError, ModuleHandle, UnifiedControlKernel};
+pub use kernel::{DrainOutcome, KernelError, ModuleHandle, UnifiedControlKernel};
 pub use packet::{CommandPacket, DecodeError, IDEMPOTENCY_FLAG};
+pub use queue::{
+    CompletionQueue, CompletionRecord, CompletionStatus, SqDescriptor, SubmissionQueue,
+    DEFAULT_SQ_DEPTH, SQ_DEPTH_ENV,
+};

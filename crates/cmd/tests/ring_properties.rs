@@ -1,0 +1,178 @@
+//! Property suites for the SQ/CQ ring pair: wrap-around against a model
+//! queue, the full/empty boundary, and ringing the doorbell again while a
+//! previous drain left descriptors queued (the batched driver's steady
+//! state). Shrunk counterexamples are committed as regression tapes in
+//! `tests/regressions/`.
+
+use harmonia_cmd::queue::{
+    CompletionQueue, CompletionRecord, CompletionStatus, SqDescriptor, SubmissionQueue,
+};
+use harmonia_cmd::{CommandCode, CommandPacket, SrcId, UnifiedControlKernel};
+use harmonia_testkit::prelude::*;
+use std::collections::VecDeque;
+
+fn desc(tag: u32) -> SqDescriptor {
+    SqDescriptor {
+        tag,
+        bytes: vec![tag as u8],
+    }
+}
+
+fn rec(tag: u32) -> CompletionRecord {
+    CompletionRecord {
+        tag,
+        status: CompletionStatus::Ok,
+        at_ps: u64::from(tag),
+    }
+}
+
+/// A device-level `HealthRead` descriptor (needs no registered modules).
+fn health_desc(tag: u32) -> SqDescriptor {
+    let pkt = CommandPacket::new(SrcId::Application, 0, 0, CommandCode::HealthRead)
+        .with_idempotency_tag(tag);
+    SqDescriptor {
+        tag,
+        bytes: pkt.encode(),
+    }
+}
+
+forall! {
+    /// Arbitrary push/pop interleavings against a model queue: FIFO order,
+    /// len/full/empty agreement, and free-running head/tail counters whose
+    /// difference is always the occupancy — across any number of
+    /// wrap-arounds of the slot array.
+    #[test]
+    fn ring_wrap_around(depth_log in 0usize..4, ops in collection::vec(any::<bool>(), 0..96)) {
+        let depth = 1usize << depth_log;
+        let mut sq = SubmissionQueue::new(depth);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        let mut pushes = 0u64;
+        let mut pops = 0u64;
+        for push in ops {
+            if push {
+                match sq.push(desc(next)) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < depth, "accepted a push while full");
+                        model.push_back(next);
+                        pushes += 1;
+                    }
+                    Err(rejected) => {
+                        prop_assert_eq!(model.len(), depth, "rejected a push while not full");
+                        prop_assert_eq!(rejected.tag, next, "rejection must return the item");
+                    }
+                }
+                next += 1;
+            } else {
+                match sq.pop() {
+                    Some(d) => {
+                        prop_assert_eq!(Some(d.tag), model.pop_front());
+                        pops += 1;
+                    }
+                    None => prop_assert!(model.is_empty(), "empty pop while occupied"),
+                }
+            }
+            prop_assert_eq!(sq.len(), model.len());
+            prop_assert_eq!(sq.is_empty(), model.is_empty());
+            prop_assert_eq!(sq.is_full(), model.len() == depth);
+            prop_assert_eq!(sq.tail(), pushes, "tail free-runs over accepted pushes");
+            prop_assert_eq!(sq.head(), pops, "head free-runs over pops");
+            prop_assert_eq!(sq.tail() - sq.head(), model.len() as u64);
+        }
+    }
+
+    /// The full/empty boundary: exactly `capacity` pushes are accepted,
+    /// every push beyond is rejected without disturbing the contents, and
+    /// draining returns everything in order down to a clean empty ring
+    /// with indices still advanced.
+    #[test]
+    fn ring_full_empty_boundary(depth in 1usize..10, extra in 1usize..5) {
+        let mut cq = CompletionQueue::new(depth);
+        let cap = cq.capacity();
+        prop_assert!(cap.is_power_of_two() && cap >= depth);
+        for i in 0..cap {
+            prop_assert!(cq.push(rec(i as u32)).is_ok());
+            prop_assert_eq!(cq.len(), i + 1);
+        }
+        prop_assert!(cq.is_full());
+        for j in 0..extra {
+            let refused = cq.push(rec((cap + j) as u32)).unwrap_err();
+            prop_assert_eq!(refused.tag, (cap + j) as u32);
+            prop_assert_eq!(cq.len(), cap, "a refused push must not disturb the ring");
+        }
+        for i in 0..cap {
+            prop_assert_eq!(cq.pop().unwrap().tag, i as u32);
+        }
+        prop_assert!(cq.is_empty());
+        prop_assert!(cq.pop().is_none());
+        prop_assert_eq!(cq.head(), cap as u64);
+        prop_assert_eq!(cq.tail(), cap as u64);
+    }
+
+    /// Doorbell-while-draining: a first doorbell drains part of the ring,
+    /// the host tops the SQ back up *before* polling any completions, and
+    /// a second doorbell runs against the partially-drained state — with
+    /// the CQ possibly filling mid-drain (backpressure). Every accepted
+    /// descriptor must complete exactly once, in ring order, with a
+    /// response for every Ok record.
+    #[test]
+    fn doorbell_while_draining(
+        depth_log in 0usize..4,
+        first in 0usize..12,
+        second in 0usize..12,
+        n1 in 0usize..16,
+    ) {
+        let depth = 1usize << depth_log;
+        let mut sq = SubmissionQueue::new(depth);
+        let mut cq = CompletionQueue::new(depth);
+        let mut k = UnifiedControlKernel::new(64);
+        let mut next = 0u32;
+        let mut accepted: Vec<u32> = Vec::new();
+        for _ in 0..first {
+            if sq.push(health_desc(next)).is_ok() {
+                accepted.push(next);
+                next += 1;
+            }
+        }
+        let queued1 = sq.len();
+        let out1 = k.ring_doorbell(&mut sq, &mut cq, n1, SrcId::Application);
+        prop_assert_eq!(out1.drained, n1.min(queued1), "CQ starts empty; only n limits");
+        prop_assert_eq!(cq.len(), out1.drained);
+        let mut responses: Vec<u32> = out1.responses.iter().map(|(t, _)| *t).collect();
+        // Top the ring back up before polling a single completion.
+        for _ in 0..second {
+            if sq.push(health_desc(next)).is_ok() {
+                accepted.push(next);
+                next += 1;
+            }
+        }
+        // Second doorbell with an oversized n: the un-polled CQ may fill
+        // and stop the drain early — that is the backpressure contract.
+        let queued2 = sq.len();
+        let cq_free = cq.capacity() - cq.len();
+        let out2 = k.ring_doorbell(&mut sq, &mut cq, 16, SrcId::Application);
+        prop_assert_eq!(out2.drained, queued2.min(cq_free).min(16));
+        responses.extend(out2.responses.iter().map(|(t, _)| *t));
+        let mut records: Vec<CompletionRecord> = Vec::new();
+        while let Some(r) = cq.pop() {
+            records.push(r);
+        }
+        // Whatever the full CQ blocked stays queued for later doorbells.
+        while !sq.is_empty() {
+            let before = sq.len();
+            let out = k.ring_doorbell(&mut sq, &mut cq, before, SrcId::Application);
+            prop_assert_eq!(out.drained, before, "CQ was just emptied");
+            responses.extend(out.responses.iter().map(|(t, _)| *t));
+            while let Some(r) = cq.pop() {
+                records.push(r);
+            }
+        }
+        let tags: Vec<u32> = records.iter().map(|r| r.tag).collect();
+        prop_assert_eq!(&tags, &accepted, "completions must cover the ring in order");
+        prop_assert_eq!(&responses, &accepted, "every Ok record carries a response");
+        for r in &records {
+            prop_assert_eq!(r.status, CompletionStatus::Ok);
+        }
+        prop_assert_eq!(k.commands_executed(), accepted.len() as u64);
+    }
+}

@@ -36,25 +36,25 @@ pub struct IssuedCommand {
 /// The command-interface driver, bound to one FPGA (kernel) via DMA.
 #[derive(Debug)]
 pub struct CommandDriver {
-    src: SrcId,
-    engine: DmaEngine,
-    kernel: UnifiedControlKernel,
-    issued: Vec<IssuedCommand>,
-    total_latency_ps: Picos,
-    policy: RetryPolicy,
-    report: DriverReport,
-    faults: FaultInjector,
-    next_tag: u32,
+    pub(crate) src: SrcId,
+    pub(crate) engine: DmaEngine,
+    pub(crate) kernel: UnifiedControlKernel,
+    pub(crate) issued: Vec<IssuedCommand>,
+    pub(crate) total_latency_ps: Picos,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) report: DriverReport,
+    pub(crate) faults: FaultInjector,
+    pub(crate) next_tag: u32,
     /// Response-upload path: a zero-bubble pipeline whose scheduling
     /// errors surface as [`DriverError::ResponsePath`], never a panic.
-    resp_pipe: Pipeline<u32>,
+    pub(crate) resp_pipe: Pipeline<u32>,
     /// Tags in completion order, per driver — retries must never reorder
     /// responses within one `SrcId`.
-    acked_log: Vec<u32>,
-    clock_ps: Picos,
-    trace: TraceCollector,
+    pub(crate) acked_log: Vec<u32>,
+    pub(crate) clock_ps: Picos,
+    pub(crate) trace: TraceCollector,
     /// Issue→ack latency of every completed command, log-bucketed.
-    latency_histo: LogHistogram,
+    pub(crate) latency_histo: LogHistogram,
 }
 
 impl CommandDriver {
@@ -151,6 +151,11 @@ impl CommandDriver {
     /// Access to the DMA engine (e.g. to toggle control isolation).
     pub fn engine_mut(&mut self) -> &mut DmaEngine {
         &mut self.engine
+    }
+
+    /// The DMA engine, for inspection (send/doorbell counters).
+    pub fn engine_ref(&self) -> &DmaEngine {
+        &self.engine
     }
 
     /// Issues one command and waits for its response (cmd_write/cmd_read

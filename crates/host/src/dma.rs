@@ -34,6 +34,7 @@ pub struct DmaEngine {
     data_backlog_bytes: u64,
     data_sent: Throughput,
     commands_sent: u64,
+    doorbells: u64,
     faults: FaultInjector,
     trace: TraceCollector,
 }
@@ -48,6 +49,7 @@ impl DmaEngine {
             data_backlog_bytes: 0,
             data_sent: Throughput::new(),
             commands_sent: 0,
+            doorbells: 0,
             faults: FaultInjector::none(),
             trace: TraceCollector::disabled(),
         }
@@ -121,7 +123,12 @@ impl DmaEngine {
     /// drain through the shared queue.
     pub fn command_latency_ps(&mut self, cmd_bytes: u32) -> Picos {
         self.commands_sent += 1;
-        let base = self.dma.read_latency_ps(cmd_bytes);
+        self.queue_latency_ps(cmd_bytes)
+    }
+
+    /// Control-queue wire latency for `bytes` (no send accounting).
+    fn queue_latency_ps(&self, bytes: u32) -> Picos {
+        let base = self.dma.read_latency_ps(bytes);
         if self.ctrl_isolated {
             base
         } else {
@@ -134,6 +141,11 @@ impl DmaEngine {
     /// Commands sent so far.
     pub fn commands_sent(&self) -> u64 {
         self.commands_sent
+    }
+
+    /// Doorbell bursts shipped via [`DmaEngine::batch_delivery`].
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells
     }
 
     /// Ships one command through the fault plane at simulation time
@@ -171,6 +183,59 @@ impl DmaEngine {
             latency_ps,
             TraceEventKind::CmdDelivery {
                 bytes: cmd_bytes,
+                lost: false,
+            },
+        );
+        CommandDelivery::Delivered { latency_ps }
+    }
+
+    /// Ships one doorbell burst of `descriptors` command packets totalling
+    /// `total_bytes` through the control queue: the whole chunk pays ONE
+    /// base link latency instead of one per packet — the amortization the
+    /// SQ/CQ path exists for.
+    ///
+    /// Burst-level faults apply here: an injected credit stall stretches
+    /// the latency and a down link loses the entire burst. Per-descriptor
+    /// `CmdDrop`/`CmdCorrupt` faults are *not* consulted — the batched
+    /// driver applies those per entry, so replay recovers only the lost
+    /// descriptors.
+    pub fn batch_delivery(
+        &mut self,
+        total_bytes: u32,
+        descriptors: u32,
+        now: Picos,
+    ) -> CommandDelivery {
+        self.doorbells += 1;
+        self.commands_sent += u64::from(descriptors);
+        let mut latency_ps = self.queue_latency_ps(total_bytes);
+        if self.faults.is_active() {
+            let stall = self.faults.take_stall_beats(now);
+            if stall > 0 {
+                latency_ps += stall * self.credit_beat_ps();
+                self.trace.instant(
+                    now,
+                    TraceEventKind::FaultInjected {
+                        kind: FaultKind::PcieCreditStall { beats: stall },
+                    },
+                );
+            }
+            if !self.faults.link_up(now) {
+                self.trace.span(
+                    now,
+                    latency_ps,
+                    TraceEventKind::CmdDelivery {
+                        bytes: total_bytes,
+                        lost: true,
+                    },
+                );
+                return CommandDelivery::Lost { latency_ps };
+            }
+        }
+        self.trace.span(
+            now,
+            latency_ps,
+            TraceEventKind::CmdDelivery {
+                bytes: total_bytes,
                 lost: false,
             },
         );
@@ -250,6 +315,45 @@ mod tests {
             faulty.command_delivery(64, 0),
             CommandDelivery::Delivered { latency_ps: expect }
         );
+    }
+
+    #[test]
+    fn batch_delivery_amortizes_base_latency() {
+        let mut e = engine();
+        let single = e.command_latency_ps(64);
+        let burst = match e.batch_delivery(64 * 16, 16, 0) {
+            CommandDelivery::Delivered { latency_ps } => latency_ps,
+            lost => panic!("no faults attached: {lost:?}"),
+        };
+        assert!(
+            burst < single * 8,
+            "16-descriptor burst at {burst} ps is not amortized vs {single} ps/cmd"
+        );
+        assert_eq!(e.doorbells(), 1);
+        assert_eq!(e.commands_sent(), 17);
+    }
+
+    #[test]
+    fn batch_delivery_lost_only_on_burst_level_faults() {
+        use harmonia_sim::{FaultKind, FaultPlan};
+        let mut e = engine();
+        e.set_fault_injector(
+            FaultPlan::new()
+                .at(0, FaultKind::CmdDrop)
+                .at(100, FaultKind::LinkDown)
+                .injector(),
+        );
+        // An armed per-descriptor drop must NOT lose the whole burst —
+        // that consult belongs to the driver, per entry.
+        assert!(matches!(
+            e.batch_delivery(256, 4, 0),
+            CommandDelivery::Delivered { .. }
+        ));
+        // A down link loses the burst outright.
+        assert!(matches!(
+            e.batch_delivery(256, 4, 150),
+            CommandDelivery::Lost { .. }
+        ));
     }
 
     #[test]

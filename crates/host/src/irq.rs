@@ -188,6 +188,18 @@ mod tests {
     }
 
     #[test]
+    fn empty_report_coalescing_is_zero() {
+        // No events, no interrupts: the coalescing factor must be a clean
+        // 0.0, not NaN from 0/0 — reports render into committed text.
+        let m = IrqModerator::new(IrqModeration::nic_default());
+        let r = m.report();
+        assert_eq!(r.interrupts, 0);
+        assert_eq!(r.coalescing(), 0.0);
+        assert!(!r.coalescing().is_nan());
+        assert_eq!(r.mean_delay_ps, 0.0);
+    }
+
+    #[test]
     fn immediate_policy_interrupts_every_event() {
         let r = IrqModerator::run_uniform(IrqModeration::immediate(), 1_000, 1_000);
         assert_eq!(r.interrupts, 1_000);

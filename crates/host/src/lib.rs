@@ -20,8 +20,11 @@
 //!   type (coalescing windows and batch thresholds);
 //! * [`resilience`] — per-command deadlines, bounded retries with
 //!   deterministic backoff, and the [`resilience::DriverReport`] failure
-//!   accounting the fault campaigns assert over.
+//!   accounting the fault campaigns assert over;
+//! * [`batch`] — the batched SQ/CQ submission path: N commands per
+//!   doorbell, one DMA burst per batch, coalesced completion interrupts.
 
+pub mod batch;
 pub mod bmc;
 pub mod cmd_driver;
 pub mod dma;
@@ -31,6 +34,7 @@ pub mod reg_driver;
 pub mod resilience;
 pub mod tool;
 
+pub use batch::{BatchedCommandDriver, CMD_BATCH_ENV, DEFAULT_CMD_BATCH};
 pub use bmc::{BmcController, BmcPolicy, BmcStatus};
 pub use cmd_driver::{CommandDriver, DEGRADED_STATUS};
 pub use dma::{CommandDelivery, DmaEngine};

@@ -150,6 +150,28 @@ pub enum TraceEventKind {
         /// Instance id.
         instance_id: u8,
     },
+    /// The batched driver rang the submission doorbell (span: one DMA
+    /// burst carrying the whole descriptor chunk).
+    BatchSubmit {
+        /// Descriptors in the burst.
+        entries: u32,
+        /// Total wire bytes of the burst.
+        bytes: u32,
+    },
+    /// The kernel drained a doorbell's descriptors through the
+    /// decode/idempotency/replay machinery (span: total execution time).
+    BatchDrain {
+        /// Descriptors drained from the submission ring.
+        entries: u32,
+    },
+    /// The host observed a batch's completion records; interrupts were
+    /// coalesced per batch instead of per command.
+    BatchComplete {
+        /// Completion records observed.
+        entries: u32,
+        /// Coalesced interrupts this batch cost the host.
+        interrupts: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -171,6 +193,9 @@ impl TraceEventKind {
             TraceEventKind::MacFrame { .. } => "mac-frame",
             TraceEventKind::FaultInjected { .. } => "fault-injected",
             TraceEventKind::ModuleDegraded { .. } => "module-degraded",
+            TraceEventKind::BatchSubmit { .. } => "batch-submit",
+            TraceEventKind::BatchDrain { .. } => "batch-drain",
+            TraceEventKind::BatchComplete { .. } => "batch-complete",
         }
     }
 
@@ -192,6 +217,8 @@ impl TraceEventKind {
             TraceEventKind::FaultInjected { .. } | TraceEventKind::ModuleDegraded { .. } => {
                 "fault"
             }
+            TraceEventKind::BatchSubmit { .. } | TraceEventKind::BatchComplete { .. } => "cmd",
+            TraceEventKind::BatchDrain { .. } => "kernel",
         }
     }
 
@@ -249,6 +276,20 @@ impl TraceEventKind {
             } => vec![
                 ("rbb", rbb_id.to_string()),
                 ("inst", instance_id.to_string()),
+            ],
+            TraceEventKind::BatchSubmit { entries, bytes } => vec![
+                ("entries", entries.to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+            TraceEventKind::BatchDrain { entries } => {
+                vec![("entries", entries.to_string())]
+            }
+            TraceEventKind::BatchComplete {
+                entries,
+                interrupts,
+            } => vec![
+                ("entries", entries.to_string()),
+                ("interrupts", interrupts.to_string()),
             ],
         }
     }
@@ -707,6 +748,9 @@ mod tests {
             TraceEventKind::MacFrame { bytes: 1500, lost: false },
             TraceEventKind::FaultInjected { kind: FaultKind::LinkDown },
             TraceEventKind::ModuleDegraded { rbb_id: 1, instance_id: 0 },
+            TraceEventKind::BatchSubmit { entries: 16, bytes: 256 },
+            TraceEventKind::BatchDrain { entries: 16 },
+            TraceEventKind::BatchComplete { entries: 16, interrupts: 1 },
         ];
         for k in kinds {
             assert!(!k.name().is_empty());
