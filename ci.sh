@@ -38,6 +38,14 @@ TESTKIT_CASES=128 cargo test -q --offline --locked -p harmonia-host --test fault
 echo "==> batched command path: host/cmd suites with batching enabled"
 HARMONIA_CMD_BATCH=16 cargo test -q --offline --locked -p harmonia-host -p harmonia-cmd
 
+echo "==> metrics plane: host/cmd suites with metrics enabled"
+HARMONIA_METRICS=1 cargo test -q --offline --locked -p harmonia-host -p harmonia-cmd
+
+echo "==> metrics smoke: Prometheus export from a paper-bench campaign"
+cargo run -q --offline --locked -p harmonia-bench --bin metrics > metrics_export.prom
+grep -q "^harmonia_cmd_acked_total " metrics_export.prom
+rm -f metrics_export.prom
+
 echo "==> paper bench (smoke): serial vs parallel sweep, both engines"
 TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench paper
 cp target/testkit-bench/BENCH_paper.json .

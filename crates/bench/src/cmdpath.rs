@@ -13,6 +13,7 @@ use harmonia::host::{BatchedCommandDriver, DmaEngine};
 use harmonia::hw::device::catalog;
 use harmonia::hw::ip::PcieDmaIp;
 use harmonia::hw::Vendor;
+use harmonia::sim::MetricsRegistry;
 
 /// Doorbell batch sizes the sweep covers (1 = the legacy serial path).
 pub const BATCHES: [usize; 4] = [1, 4, 16, 64];
@@ -37,10 +38,15 @@ pub struct CmdpathPoint {
     pub sim_ps: u64,
     /// Commands per second of simulated time.
     pub sim_cmds_per_sec: f64,
-    /// DMA doorbell bursts rung (0 on the legacy batch=1 path).
+    /// DMA doorbell bursts rung (0 on the legacy batch=1 path), sourced
+    /// from the `harmonia_dma_bursts_total` metrics counter.
     pub doorbells: u64,
-    /// Completion interrupts raised after coalescing.
+    /// Completion interrupts raised after coalescing, sourced from the
+    /// `harmonia_irq_interrupts_total` metrics counter.
     pub interrupts: u64,
+    /// Completion events per interrupt (`harmonia_irq_events_total` /
+    /// `harmonia_irq_interrupts_total`); 0 when nothing interrupted.
+    pub irq_coalescing: f64,
 }
 
 impl CmdpathPoint {
@@ -57,6 +63,8 @@ pub fn run_point(batch: usize, depth: usize) -> CmdpathPoint {
     let engine = DmaEngine::new(PcieDmaIp::new(Vendor::Xilinx, gen, lanes));
     let kernel = UnifiedControlKernel::new(64);
     let mut drv = BatchedCommandDriver::with_depth(engine, kernel, batch, depth);
+    let reg = MetricsRegistry::enabled();
+    drv.set_metrics_registry(reg.clone());
     let cmds = (0..COMMANDS)
         .map(|_| (0u8, 0u8, CommandCode::HealthRead, Vec::new()))
         .collect();
@@ -66,14 +74,24 @@ pub fn run_point(batch: usize, depth: usize) -> CmdpathPoint {
         "faultless sweep must ack everything"
     );
     let sim_ps = drv.clock_ps();
+    let snap = reg.snapshot();
+    let doorbells = snap.counter("harmonia_dma_bursts_total");
+    debug_assert_eq!(doorbells, drv.inner().engine_ref().doorbells());
+    let events = snap.counter("harmonia_irq_events_total");
+    let interrupts = snap.counter("harmonia_irq_interrupts_total");
     CmdpathPoint {
         batch,
         depth,
         commands: COMMANDS,
         sim_ps,
         sim_cmds_per_sec: COMMANDS as f64 / (sim_ps as f64 * 1e-12),
-        doorbells: drv.inner().engine_ref().doorbells(),
-        interrupts: drv.irq_report().interrupts,
+        doorbells,
+        interrupts,
+        irq_coalescing: if interrupts == 0 {
+            0.0
+        } else {
+            events as f64 / interrupts as f64
+        },
     }
 }
 
@@ -99,7 +117,8 @@ pub fn sweep_json(points: &[CmdpathPoint]) -> String {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"batch\": {}, \"depth\": {}, \
              \"sim_ps\": {}, \"sim_cmds_per_sec\": {:.1}, \
-             \"doorbells\": {}, \"interrupts\": {}}}{}\n",
+             \"doorbells\": {}, \"interrupts\": {}, \
+             \"irq_coalescing\": {:.2}}}{}\n",
             p.name(),
             p.batch,
             p.depth,
@@ -107,6 +126,7 @@ pub fn sweep_json(points: &[CmdpathPoint]) -> String {
             p.sim_cmds_per_sec,
             p.doorbells,
             p.interrupts,
+            p.irq_coalescing,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -147,5 +167,19 @@ mod tests {
         let p = run_point(1, 64);
         assert_eq!(p.doorbells, 0, "batch=1 must pin the legacy path");
         assert_eq!(p.interrupts, 0);
+        assert_eq!(p.irq_coalescing, 0.0);
+    }
+
+    #[test]
+    fn batched_point_coalesces_completions() {
+        let p = run_point(16, 64);
+        // One completion event per command; the moderator batches them
+        // at the doorbell batch size.
+        assert!(p.interrupts > 0);
+        assert!(
+            (p.irq_coalescing - 16.0).abs() < 1e-9,
+            "coalescing {} should match the batch",
+            p.irq_coalescing
+        );
     }
 }

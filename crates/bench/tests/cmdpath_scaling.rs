@@ -59,6 +59,28 @@ fn batch_16_doubles_simulated_throughput_live() {
 }
 
 #[test]
+fn doorbells_track_commands_per_batch() {
+    // The doorbells field is sourced from the metrics registry
+    // (`harmonia_dma_bursts_total`); it must equal commands / effective
+    // batch, where the SQ depth caps the effective batch size.
+    for &batch in &cmdpath::BATCHES {
+        for &depth in &cmdpath::DEPTHS {
+            let p = cmdpath::run_point(batch, depth);
+            let expected = if batch == 1 {
+                0 // legacy serial path: no doorbell bursts at all
+            } else {
+                (p.commands / batch.min(depth)) as u64
+            };
+            assert_eq!(
+                p.doorbells, expected,
+                "batch={batch}/depth={depth}: {} doorbells for {} commands",
+                p.doorbells, p.commands
+            );
+        }
+    }
+}
+
+#[test]
 fn committed_bench_shows_batch_16_at_least_twice_batch_1() {
     let committed = include_str!(concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -19,7 +19,7 @@ use std::collections::btree_map::Entry;
 use harmonia_hw::regfile::{RegOp, RegisterFile};
 use harmonia_hw::resource::ResourceUsage;
 use harmonia_shell::rbb::Rbb;
-use harmonia_sim::{Picos, SyncFifo, TraceCollector, TraceEventKind};
+use harmonia_sim::{MetricsRegistry, Picos, SyncFifo, TraceCollector, TraceEventKind};
 use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -149,6 +149,9 @@ pub struct UnifiedControlKernel {
     /// Observability handle (disabled by default — zero cost). Purely
     /// observational: recording never feeds back into execution.
     trace: TraceCollector,
+    /// Metrics handle (disabled by default — zero cost). Same contract
+    /// as `trace`: recording never feeds back into execution.
+    metrics: MetricsRegistry,
     /// Trace-only clock: advanced by executed-command latencies and
     /// synced forward by the driver. Never consulted by execution logic.
     trace_clock_ps: Picos,
@@ -198,6 +201,7 @@ impl UnifiedControlKernel {
             decode_errors: 0,
             replays: 0,
             trace: TraceCollector::disabled(),
+            metrics: MetricsRegistry::disabled(),
             trace_clock_ps: 0,
         }
     }
@@ -208,6 +212,14 @@ impl UnifiedControlKernel {
     /// per hook.
     pub fn set_trace_collector(&mut self, trace: TraceCollector) {
         self.trace = trace;
+    }
+
+    /// Attaches a metrics registry: the kernel bumps
+    /// `harmonia_kernel_*` counters (executed, replays, nacks, reg ops,
+    /// ring drains) and ring-occupancy high-water gauges into it.
+    /// Disabled registries cost one branch per hook.
+    pub fn set_metrics_registry(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Advances the kernel's trace-only clock to `now` (the driver calls
@@ -304,6 +316,7 @@ impl UnifiedControlKernel {
             }
             Err(e) => {
                 self.decode_errors += 1;
+                self.metrics.counter_inc("harmonia_kernel_nacks_total", &[]);
                 self.trace.instant(
                     self.trace_clock_ps,
                     TraceEventKind::CmdNack {
@@ -333,7 +346,13 @@ impl UnifiedControlKernel {
     pub fn submit(&mut self, packet: CommandPacket) -> Result<(), KernelError> {
         self.buffer
             .push_traced(packet, &self.trace, self.trace_clock_ps)
-            .map_err(|_| KernelError::BufferFull)
+            .map_err(|_| KernelError::BufferFull)?;
+        self.metrics.gauge_max(
+            "harmonia_kernel_buffer_high_water",
+            &[],
+            self.buffer.len() as u64,
+        );
+        Ok(())
     }
 
     /// Commands waiting in the buffer.
@@ -358,6 +377,7 @@ impl UnifiedControlKernel {
         if let Some(key) = idem_key {
             if let Some(cached) = self.idem_cache.get(&key) {
                 self.replays += 1;
+                self.metrics.counter_inc("harmonia_kernel_replays_total", &[]);
                 self.trace.instant(
                     self.trace_clock_ps,
                     TraceEventKind::KernelReplay {
@@ -370,6 +390,12 @@ impl UnifiedControlKernel {
         let ops_before = self.reg_ops_executed;
         let data = self.execute(&packet)?;
         self.commands_executed += 1;
+        self.metrics.counter_inc("harmonia_kernel_cmds_executed_total", &[]);
+        self.metrics.counter_add(
+            "harmonia_kernel_reg_ops_total",
+            &[],
+            self.reg_ops_executed - ops_before,
+        );
         let exec_ps = Self::command_latency_ps(self.reg_ops_executed - ops_before);
         self.trace.span(
             self.trace_clock_ps,
@@ -422,6 +448,8 @@ impl UnifiedControlKernel {
         reply_to: SrcId,
     ) -> DrainOutcome {
         let drain_start = self.trace_clock_ps;
+        self.metrics
+            .gauge_max("harmonia_kernel_sq_high_water", &[], sq.len() as u64);
         let mut out = DrainOutcome {
             drained: 0,
             exec_ps: 0,
@@ -469,6 +497,8 @@ impl UnifiedControlKernel {
             .expect("cq fullness was checked before the pop");
         }
         if out.drained > 0 {
+            self.metrics
+                .counter_add("harmonia_kernel_sq_drained_total", &[], out.drained as u64);
             self.trace.span(
                 drain_start,
                 out.exec_ps,

@@ -37,7 +37,9 @@ use harmonia_cmd::queue::{
     sq_depth_from_env, CompletionQueue, CompletionStatus, SqDescriptor, SubmissionQueue,
 };
 use harmonia_cmd::{CommandCode, CommandPacket, KernelError, UnifiedControlKernel};
-use harmonia_sim::{FaultInjector, Picos, TraceCollector, TraceEventKind};
+use harmonia_sim::{
+    FaultInjector, FlightRecorder, MetricsRegistry, Picos, TraceCollector, TraceEventKind,
+};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Environment override for the doorbell batch size.
@@ -104,15 +106,21 @@ impl BatchedCommandDriver {
         depth: usize,
     ) -> Self {
         let batch = batch.max(1);
+        let inner = CommandDriver::new(engine, kernel);
+        let mut irq = IrqModerator::new(IrqModeration {
+            max_wait_ps: 50_000_000,
+            batch_threshold: batch.min(u32::MAX as usize) as u32,
+        });
+        // Coalesced completion interrupts land in the same registry as
+        // the rest of the command path (env-gated inside the inner
+        // driver's constructor).
+        irq.set_metrics_registry(inner.metrics().clone());
         BatchedCommandDriver {
-            inner: CommandDriver::new(engine, kernel),
+            inner,
             batch,
             sq: SubmissionQueue::new(depth),
             cq: CompletionQueue::new(depth),
-            irq: IrqModerator::new(IrqModeration {
-                max_wait_ps: 50_000_000,
-                batch_threshold: batch.min(u32::MAX as usize) as u32,
-            }),
+            irq,
         }
     }
 
@@ -173,6 +181,23 @@ impl BatchedCommandDriver {
         self.inner.set_trace_collector(trace);
     }
 
+    /// See [`CommandDriver::set_metrics_registry`] (also rewires the
+    /// interrupt moderator's counters onto the new registry).
+    pub fn set_metrics_registry(&mut self, metrics: MetricsRegistry) {
+        self.irq.set_metrics_registry(metrics.clone());
+        self.inner.set_metrics_registry(metrics);
+    }
+
+    /// See [`CommandDriver::set_flight_recorder`].
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.inner.set_flight_recorder(flight);
+    }
+
+    /// See [`CommandDriver::last_post_mortem`].
+    pub fn last_post_mortem(&self) -> Option<&str> {
+        self.inner.last_post_mortem()
+    }
+
     /// Submits a batch of commands and drives every one of them to
     /// convergence — acked or reported-failed — in submission order.
     ///
@@ -202,6 +227,9 @@ impl BatchedCommandDriver {
                 .with_data(data)
                 .with_idempotency_tag(tag);
             self.inner.report.issued += 1;
+            self.inner
+                .metrics
+                .counter_inc("harmonia_cmd_issued_total", &[]);
             self.inner.issued.push(IssuedCommand {
                 rbb_id,
                 instance_id,
@@ -246,14 +274,13 @@ impl BatchedCommandDriver {
         let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(round.len());
         for e in &mut round {
             e.issued_at.get_or_insert(round_start);
-            self.inner.trace.instant(
-                round_start,
-                TraceEventKind::CmdIssue {
-                    code: e.packet.code.to_u16(),
-                    rbb_id: e.packet.rbb_id,
-                    instance_id: e.packet.instance_id,
-                },
-            );
+            let issue = TraceEventKind::CmdIssue {
+                code: e.packet.code.to_u16(),
+                rbb_id: e.packet.rbb_id,
+                instance_id: e.packet.instance_id,
+            };
+            self.inner.flight.record(round_start, 0, issue.clone());
+            self.inner.trace.instant(round_start, issue);
             let bytes = e.packet.encode();
             total_bytes += bytes.len() as u32;
             encoded.push(bytes);
@@ -345,23 +372,41 @@ impl BatchedCommandDriver {
                     debug_assert_eq!(uploaded, Some(e.tag));
                     self.inner.acked_log.push(e.tag);
                     self.inner.report.acked += 1;
+                    self.inner
+                        .metrics
+                        .counter_inc("harmonia_cmd_acked_total", &[]);
                     let start = e.issued_at.unwrap_or(round_start);
-                    self.inner.trace.span(
-                        start,
+                    self.inner.metrics.observe(
+                        "harmonia_cmd_latency_ps",
+                        &[],
                         self.inner.clock_ps - start,
-                        TraceEventKind::CmdAck {
-                            code: e.packet.code.to_u16(),
-                            attempts: e.attempt + 1,
-                        },
                     );
+                    let ack = TraceEventKind::CmdAck {
+                        code: e.packet.code.to_u16(),
+                        attempts: e.attempt + 1,
+                    };
+                    self.inner
+                        .flight
+                        .record(start, self.inner.clock_ps - start, ack.clone());
+                    self.inner
+                        .trace
+                        .span(start, self.inner.clock_ps - start, ack);
                     self.inner.latency_histo.record(self.inner.clock_ps - start);
                     results[e.idx] = Some(Ok(resp));
                 }
-                CompletionStatus::Nack { .. } => {
+                CompletionStatus::Nack { error_code } => {
                     if self.irq.event(self.inner.clock_ps) {
                         interrupts += 1;
                     }
                     self.inner.report.nacks += 1;
+                    self.inner
+                        .metrics
+                        .counter_inc("harmonia_cmd_nacks_total", &[]);
+                    self.inner.flight.record(
+                        self.inner.clock_ps,
+                        0,
+                        TraceEventKind::CmdNack { error_code },
+                    );
                     nacked.push(e);
                 }
                 CompletionStatus::Error => {
@@ -394,17 +439,21 @@ impl BatchedCommandDriver {
     /// one shared wait to `round_start + deadline`, one timeout per entry.
     fn timeout_entries(&mut self, entries: &[Entry], round_start: Picos) {
         self.inner.report.timeouts += entries.len() as u64;
+        self.inner
+            .metrics
+            .counter_add("harmonia_cmd_timeouts_total", &[], entries.len() as u64);
         self.inner.clock_ps = self
             .inner
             .clock_ps
             .max(round_start + self.inner.policy.deadline_ps);
         for e in entries {
-            self.inner.trace.instant(
-                self.inner.clock_ps,
-                TraceEventKind::CmdTimeout {
-                    code: e.packet.code.to_u16(),
-                },
-            );
+            let timeout = TraceEventKind::CmdTimeout {
+                code: e.packet.code.to_u16(),
+            };
+            self.inner
+                .flight
+                .record(self.inner.clock_ps, 0, timeout.clone());
+            self.inner.trace.instant(self.inner.clock_ps, timeout);
         }
     }
 
@@ -425,13 +474,29 @@ impl BatchedCommandDriver {
         for mut e in retriers {
             if e.attempt >= self.inner.policy.max_retries {
                 self.inner.report.gave_up += 1;
-                self.inner.trace.instant(
-                    self.inner.clock_ps,
-                    TraceEventKind::CmdGiveUp {
-                        code: e.packet.code.to_u16(),
-                        attempts: e.attempt + 1,
-                    },
-                );
+                self.inner
+                    .metrics
+                    .counter_inc("harmonia_cmd_gave_up_total", &[]);
+                let give_up = TraceEventKind::CmdGiveUp {
+                    code: e.packet.code.to_u16(),
+                    attempts: e.attempt + 1,
+                };
+                self.inner
+                    .flight
+                    .record(self.inner.clock_ps, 0, give_up.clone());
+                self.inner.trace.instant(self.inner.clock_ps, give_up);
+                if self.inner.flight.is_enabled() {
+                    self.inner.last_post_mortem = Some(format!(
+                        "post-mortem: gave up on cmd {:#06x} (rbb {} inst {}) after {} \
+                         attempt(s), deadline {} ps\n{}",
+                        e.packet.code.to_u16(),
+                        e.packet.rbb_id,
+                        e.packet.instance_id,
+                        e.attempt + 1,
+                        self.inner.policy.deadline_ps,
+                        self.inner.flight.dump()
+                    ));
+                }
                 results[e.idx] = Some(Err(DriverError::GaveUp {
                     rbb_id: e.packet.rbb_id,
                     instance_id: e.packet.instance_id,
@@ -443,6 +508,9 @@ impl BatchedCommandDriver {
                 backoff = backoff.max(self.inner.policy.backoff_ps(e.attempt));
                 e.attempt += 1;
                 self.inner.report.retries += 1;
+                self.inner
+                    .metrics
+                    .counter_inc("harmonia_cmd_retries_total", &[]);
                 retained.push(e);
             }
         }
@@ -450,14 +518,18 @@ impl BatchedCommandDriver {
             return;
         }
         self.inner.clock_ps += backoff;
+        self.inner
+            .metrics
+            .counter_add("harmonia_cmd_backoff_ps_total", &[], backoff);
         for e in &retained {
-            self.inner.trace.instant(
-                self.inner.clock_ps,
-                TraceEventKind::CmdRetry {
-                    code: e.packet.code.to_u16(),
-                    attempt: e.attempt,
-                },
-            );
+            let retry = TraceEventKind::CmdRetry {
+                code: e.packet.code.to_u16(),
+                attempt: e.attempt,
+            };
+            self.inner
+                .flight
+                .record(self.inner.clock_ps, 0, retry.clone());
+            self.inner.trace.instant(self.inner.clock_ps, retry);
         }
         for e in retained.into_iter().rev() {
             pending.push_front(e);

@@ -13,7 +13,8 @@ use harmonia_cmd::{CommandCode, CommandPacket, KernelError, SrcId, UnifiedContro
 use harmonia_shell::rbb::RbbKind;
 use harmonia_shell::TailoredShell;
 use harmonia_sim::{
-    FaultInjector, LogHistogram, Picos, Pipeline, TraceCollector, TraceEventKind,
+    FaultInjector, FlightRecorder, LogHistogram, MetricsRegistry, Picos, Pipeline,
+    TraceCollector, TraceEventKind,
 };
 use std::collections::BTreeSet;
 
@@ -55,6 +56,15 @@ pub struct CommandDriver {
     pub(crate) trace: TraceCollector,
     /// Issue→ack latency of every completed command, log-bucketed.
     pub(crate) latency_histo: LogHistogram,
+    /// Metrics handle shared with the engine and kernel (disabled unless
+    /// attached or enabled via `HARMONIA_METRICS`).
+    pub(crate) metrics: MetricsRegistry,
+    /// Bounded ring of recent command-path events, dumped as a
+    /// post-mortem on [`DriverError::GaveUp`].
+    pub(crate) flight: FlightRecorder,
+    /// The post-mortem composed by the most recent give-up (None until a
+    /// give-up happens with the flight recorder enabled).
+    pub(crate) last_post_mortem: Option<String>,
 }
 
 impl CommandDriver {
@@ -80,8 +90,13 @@ impl CommandDriver {
             clock_ps: 0,
             trace: TraceCollector::disabled(),
             latency_histo: LogHistogram::new(),
+            metrics: MetricsRegistry::disabled(),
+            flight: FlightRecorder::disabled(),
+            last_post_mortem: None,
         };
         driver.set_trace_collector(TraceCollector::from_env());
+        driver.set_metrics_registry(MetricsRegistry::from_env());
+        driver.flight = FlightRecorder::from_env();
         driver
     }
 
@@ -100,6 +115,46 @@ impl CommandDriver {
     /// enabled via `HARMONIA_TRACE`).
     pub fn trace(&self) -> &TraceCollector {
         &self.trace
+    }
+
+    /// Attaches a metrics registry to this driver *and* its DMA engine
+    /// and kernel (clones share one store, so the whole command path
+    /// lands in one registry). [`CommandDriver::with_src`] consults
+    /// [`harmonia_sim::metrics::METRICS_ENV`] automatically; call this to
+    /// override.
+    pub fn set_metrics_registry(&mut self, metrics: MetricsRegistry) {
+        self.engine.set_metrics_registry(metrics.clone());
+        self.kernel.set_metrics_registry(metrics.clone());
+        self.metrics = metrics;
+    }
+
+    /// The driver's metrics registry (disabled unless attached or
+    /// enabled via `HARMONIA_METRICS`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Replaces the flight recorder (a bounded ring of recent
+    /// command-path events). [`CommandDriver::with_src`] consults
+    /// [`harmonia_sim::metrics::METRICS_ENV`] automatically; call this to
+    /// override — e.g. with a larger ring for long campaigns.
+    pub fn set_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
+    }
+
+    /// The flight recorder (disabled unless attached or enabled via
+    /// `HARMONIA_METRICS`).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The post-mortem composed by the most recent
+    /// [`DriverError::GaveUp`]: a header identifying the failing command
+    /// followed by the flight-recorder dump (its retries, timeouts and
+    /// backoffs). `None` until a give-up happens with the flight recorder
+    /// enabled.
+    pub fn last_post_mortem(&self) -> Option<&str> {
+        self.last_post_mortem.as_deref()
     }
 
     /// Issue→ack latency histogram over every completed command (both the
@@ -190,6 +245,7 @@ impl CommandDriver {
         let packet = CommandPacket::new(self.src, rbb_id, instance, code).with_data(data);
         let bytes = packet.encode();
         self.report.issued += 1;
+        self.metrics.counter_inc("harmonia_cmd_issued_total", &[]);
         // The legacy path keeps no real clock; accumulated latency is the
         // monotone pseudo-time its trace events are stamped with.
         let cmd_start = self.total_latency_ps;
@@ -219,6 +275,12 @@ impl CommandDriver {
         let ops = self.kernel.reg_ops_executed() - before;
         self.total_latency_ps += UnifiedControlKernel::command_latency_ps(ops);
         self.report.acked += 1;
+        self.metrics.counter_inc("harmonia_cmd_acked_total", &[]);
+        self.metrics.observe(
+            "harmonia_cmd_latency_ps",
+            &[],
+            self.total_latency_ps - cmd_start,
+        );
         self.trace.span(
             cmd_start,
             self.total_latency_ps - cmd_start,
@@ -271,6 +333,7 @@ impl CommandDriver {
             .with_data(data)
             .with_idempotency_tag(tag);
         self.report.issued += 1;
+        self.metrics.counter_inc("harmonia_cmd_issued_total", &[]);
         self.issued.push(IssuedCommand {
             rbb_id,
             instance_id: instance,
@@ -280,14 +343,13 @@ impl CommandDriver {
         let cmd_start = self.clock_ps;
         loop {
             let attempt_start = self.clock_ps;
-            self.trace.instant(
-                attempt_start,
-                TraceEventKind::CmdIssue {
-                    code: code.to_u16(),
-                    rbb_id,
-                    instance_id: instance,
-                },
-            );
+            let issue_kind = TraceEventKind::CmdIssue {
+                code: code.to_u16(),
+                rbb_id,
+                instance_id: instance,
+            };
+            self.flight.record(attempt_start, 0, issue_kind.clone());
+            self.trace.instant(attempt_start, issue_kind);
             let mut bytes = packet.encode();
             match self.engine.command_delivery(bytes.len() as u32, attempt_start) {
                 CommandDelivery::Delivered { latency_ps } => {
@@ -308,8 +370,16 @@ impl CommandDriver {
             self.kernel.sync_clock(self.clock_ps);
             match self.kernel.submit_bytes_or_nack(&bytes, self.src) {
                 Err(e) => return Err(DriverError::Kernel(e)),
-                Ok(Some(_nack)) => {
+                Ok(Some(nack)) => {
                     self.report.nacks += 1;
+                    self.metrics.counter_inc("harmonia_cmd_nacks_total", &[]);
+                    self.flight.record(
+                        self.clock_ps,
+                        0,
+                        TraceEventKind::CmdNack {
+                            error_code: nack.data[0],
+                        },
+                    );
                     self.retry_or_give_up(&mut attempt, &packet)?;
                     continue;
                 }
@@ -339,14 +409,17 @@ impl CommandDriver {
             debug_assert_eq!(uploaded, Some(tag));
             self.acked_log.push(tag);
             self.report.acked += 1;
-            self.trace.span(
-                cmd_start,
-                self.clock_ps - cmd_start,
-                TraceEventKind::CmdAck {
-                    code: code.to_u16(),
-                    attempts: attempt + 1,
-                },
-            );
+            self.metrics.counter_inc("harmonia_cmd_acked_total", &[]);
+            self.metrics
+                .observe("harmonia_cmd_latency_ps", &[], self.clock_ps - cmd_start);
+            let ack_kind = TraceEventKind::CmdAck {
+                code: code.to_u16(),
+                attempts: attempt + 1,
+            };
+            self.flight
+                .record(cmd_start, self.clock_ps - cmd_start, ack_kind.clone());
+            self.trace
+                .span(cmd_start, self.clock_ps - cmd_start, ack_kind);
             self.latency_histo.record(self.clock_ps - cmd_start);
             return Ok(resp);
         }
@@ -355,7 +428,10 @@ impl CommandDriver {
     /// Burns the remainder of the per-command deadline.
     fn timeout(&mut self, attempt_start: Picos, code: u16) {
         self.report.timeouts += 1;
+        self.metrics.counter_inc("harmonia_cmd_timeouts_total", &[]);
         self.clock_ps = self.clock_ps.max(attempt_start + self.policy.deadline_ps);
+        self.flight
+            .record(self.clock_ps, 0, TraceEventKind::CmdTimeout { code });
         self.trace
             .instant(self.clock_ps, TraceEventKind::CmdTimeout { code });
     }
@@ -367,13 +443,25 @@ impl CommandDriver {
     ) -> Result<(), DriverError> {
         if *attempt >= self.policy.max_retries {
             self.report.gave_up += 1;
-            self.trace.instant(
-                self.clock_ps,
-                TraceEventKind::CmdGiveUp {
-                    code: packet.code.to_u16(),
-                    attempts: *attempt + 1,
-                },
-            );
+            self.metrics.counter_inc("harmonia_cmd_gave_up_total", &[]);
+            let give_up = TraceEventKind::CmdGiveUp {
+                code: packet.code.to_u16(),
+                attempts: *attempt + 1,
+            };
+            self.flight.record(self.clock_ps, 0, give_up.clone());
+            self.trace.instant(self.clock_ps, give_up);
+            if self.flight.is_enabled() {
+                self.last_post_mortem = Some(format!(
+                    "post-mortem: gave up on cmd {:#06x} (rbb {} inst {}) after {} attempt(s), \
+                     deadline {} ps\n{}",
+                    packet.code.to_u16(),
+                    packet.rbb_id,
+                    packet.instance_id,
+                    *attempt + 1,
+                    self.policy.deadline_ps,
+                    self.flight.dump()
+                ));
+            }
             return Err(DriverError::GaveUp {
                 rbb_id: packet.rbb_id,
                 instance_id: packet.instance_id,
@@ -382,16 +470,19 @@ impl CommandDriver {
                 deadline_ps: self.policy.deadline_ps,
             });
         }
-        self.clock_ps += self.policy.backoff_ps(*attempt);
+        let backoff = self.policy.backoff_ps(*attempt);
+        self.clock_ps += backoff;
         *attempt += 1;
         self.report.retries += 1;
-        self.trace.instant(
-            self.clock_ps,
-            TraceEventKind::CmdRetry {
-                code: packet.code.to_u16(),
-                attempt: *attempt,
-            },
-        );
+        self.metrics.counter_inc("harmonia_cmd_retries_total", &[]);
+        self.metrics
+            .counter_add("harmonia_cmd_backoff_ps_total", &[], backoff);
+        let retry = TraceEventKind::CmdRetry {
+            code: packet.code.to_u16(),
+            attempt: *attempt,
+        };
+        self.flight.record(self.clock_ps, 0, retry.clone());
+        self.trace.instant(self.clock_ps, retry);
         Ok(())
     }
 
@@ -431,8 +522,9 @@ impl CommandDriver {
         shell: &mut TailoredShell,
     ) -> Result<usize, DriverError> {
         // Degradations recorded by the ledger land on this driver's
-        // timeline (a disabled handle clones for free).
+        // timeline and registry (disabled handles clone for free).
         shell.health_mut().set_trace_collector(self.trace.clone());
+        shell.health_mut().set_metrics_registry(self.metrics.clone());
         let mut counters = std::collections::BTreeMap::new();
         let modules: Vec<(u8, u8)> = shell
             .rbbs()

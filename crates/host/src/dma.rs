@@ -7,7 +7,9 @@
 //! share the data queues, where they wait behind buffered data.
 
 use harmonia_hw::ip::PcieDmaIp;
-use harmonia_sim::{FaultInjector, FaultKind, Picos, Throughput, TraceCollector, TraceEventKind};
+use harmonia_sim::{
+    FaultInjector, FaultKind, MetricsRegistry, Picos, Throughput, TraceCollector, TraceEventKind,
+};
 
 /// Outcome of shipping one command packet through the control queue.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -37,6 +39,7 @@ pub struct DmaEngine {
     doorbells: u64,
     faults: FaultInjector,
     trace: TraceCollector,
+    metrics: MetricsRegistry,
 }
 
 impl DmaEngine {
@@ -52,6 +55,7 @@ impl DmaEngine {
             doorbells: 0,
             faults: FaultInjector::none(),
             trace: TraceCollector::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
@@ -61,6 +65,14 @@ impl DmaEngine {
     /// emit [`TraceEventKind::FaultInjected`] instants.
     pub fn set_trace_collector(&mut self, trace: TraceCollector) {
         self.trace = trace;
+    }
+
+    /// Attaches a metrics registry: deliveries bump
+    /// `harmonia_dma_cmds_total`/`harmonia_dma_bursts_total` and injected
+    /// credit stalls bump the stall counters. Disabled registries cost
+    /// one branch per hook.
+    pub fn set_metrics_registry(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Attaches a fault injector to the control queue (clones share the
@@ -123,6 +135,7 @@ impl DmaEngine {
     /// drain through the shared queue.
     pub fn command_latency_ps(&mut self, cmd_bytes: u32) -> Picos {
         self.commands_sent += 1;
+        self.metrics.counter_inc("harmonia_dma_cmds_total", &[]);
         self.queue_latency_ps(cmd_bytes)
     }
 
@@ -159,6 +172,10 @@ impl DmaEngine {
             let stall = self.faults.take_stall_beats(now);
             if stall > 0 {
                 latency_ps += stall * self.credit_beat_ps();
+                self.metrics
+                    .counter_inc("harmonia_dma_credit_stalls_total", &[]);
+                self.metrics
+                    .counter_add("harmonia_dma_credit_stall_beats_total", &[], stall);
                 self.trace.instant(
                     now,
                     TraceEventKind::FaultInjected {
@@ -207,11 +224,18 @@ impl DmaEngine {
     ) -> CommandDelivery {
         self.doorbells += 1;
         self.commands_sent += u64::from(descriptors);
+        self.metrics.counter_inc("harmonia_dma_bursts_total", &[]);
+        self.metrics
+            .counter_add("harmonia_dma_cmds_total", &[], u64::from(descriptors));
         let mut latency_ps = self.queue_latency_ps(total_bytes);
         if self.faults.is_active() {
             let stall = self.faults.take_stall_beats(now);
             if stall > 0 {
                 latency_ps += stall * self.credit_beat_ps();
+                self.metrics
+                    .counter_inc("harmonia_dma_credit_stalls_total", &[]);
+                self.metrics
+                    .counter_add("harmonia_dma_credit_stall_beats_total", &[], stall);
                 self.trace.instant(
                     now,
                     TraceEventKind::FaultInjected {

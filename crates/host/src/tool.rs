@@ -11,7 +11,7 @@ use crate::cmd_driver::CommandDriver;
 use crate::dma::DmaEngine;
 use harmonia_cmd::{CommandCode, KernelError, SrcId, UnifiedControlKernel};
 use harmonia_shell::TailoredShell;
-use harmonia_sim::{LogHistogram, Trace, TraceCollector};
+use harmonia_sim::{LogHistogram, MetricsRegistry, MetricsSnapshot, Trace, TraceCollector};
 use std::fmt;
 
 /// A board-health snapshot.
@@ -123,6 +123,32 @@ impl ControlTool {
             .set_trace_collector(TraceCollector::from_env());
         Ok((tc.take(), self.driver.latency_histogram().clone()))
     }
+
+    /// The `metrics` subcommand: runs the same monitoring sweep with
+    /// metrics forced on and returns the registry snapshot. Export with
+    /// [`MetricsSnapshot::export_prometheus`] or
+    /// [`MetricsSnapshot::export_json`].
+    ///
+    /// # Errors
+    ///
+    /// Kernel-side failures.
+    pub fn capture_metrics(
+        &mut self,
+        shell: &TailoredShell,
+    ) -> Result<MetricsSnapshot, KernelError> {
+        let reg = MetricsRegistry::enabled();
+        self.driver.set_metrics_registry(reg.clone());
+        self.stats_snapshot(shell)?;
+        self.driver.set_metrics_registry(MetricsRegistry::from_env());
+        Ok(reg.snapshot())
+    }
+
+    /// The `flight-dump` subcommand: renders the driver's flight-recorder
+    /// ring on demand (not just post-mortem). With metrics disabled the
+    /// dump says so rather than returning an empty string.
+    pub fn flight_dump(&self) -> String {
+        self.driver.flight().dump()
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +207,31 @@ mod tests {
         // The tool's own collector detaches afterwards (back to env gate).
         if std::env::var_os(harmonia_sim::TRACE_ENV).is_none() {
             assert!(!tool.driver().trace().is_enabled());
+        }
+    }
+
+    #[test]
+    fn capture_metrics_counts_the_monitoring_sweep() {
+        let (mut tool, shell) = tool_and_shell();
+        let snap = tool.capture_metrics(&shell).unwrap();
+        // 3 StatsRead + 1 HealthRead, all acked.
+        assert_eq!(snap.counter("harmonia_cmd_issued_total"), 4);
+        assert_eq!(snap.counter("harmonia_cmd_acked_total"), 4);
+        assert_eq!(snap.counter("harmonia_kernel_cmds_executed_total"), 4);
+        assert_eq!(snap.counter("harmonia_dma_cmds_total"), 4);
+        assert_eq!(snap.histogram("harmonia_cmd_latency_ps").count(), 4);
+        assert!(snap.export_prometheus().contains("harmonia_cmd_acked_total 4"));
+        // The forced registry detaches afterwards (back to the env gate).
+        if std::env::var_os(harmonia_sim::METRICS_ENV).is_none() {
+            assert!(!tool.driver().metrics().is_enabled());
+        }
+    }
+
+    #[test]
+    fn flight_dump_reports_disabled_without_metrics() {
+        let (tool, _) = tool_and_shell();
+        if !tool.driver().flight().is_enabled() {
+            assert!(tool.flight_dump().contains("disabled"));
         }
     }
 

@@ -149,6 +149,39 @@ impl FleetModel {
             )
             .unwrap_or_default()
     }
+
+    /// Publishes the window aggregate into a metrics registry as
+    /// `harmonia_fleet_*` gauges, plus one `harmonia_fleet_total_units`
+    /// gauge per simulated year (labelled by `year`), and returns the
+    /// summary it published.
+    ///
+    /// Aggregation runs through the same parallel `map_reduce` as
+    /// [`FleetModel::summarize`], so the published numbers are identical
+    /// at any `HARMONIA_THREADS`.
+    pub fn publish_metrics(
+        &self,
+        end_year: u32,
+        metrics: &harmonia_sim::MetricsRegistry,
+    ) -> FleetSummary {
+        let s = self.summarize(end_year);
+        metrics.gauge_set("harmonia_fleet_peak_units", &[], s.peak_units);
+        metrics.gauge_set("harmonia_fleet_peak_year", &[], u64::from(s.peak_year));
+        metrics.gauge_set("harmonia_fleet_unit_years", &[], s.unit_years);
+        metrics.gauge_set("harmonia_fleet_units_deployed", &[], s.units_deployed);
+        metrics.gauge_set(
+            "harmonia_fleet_max_live_models",
+            &[],
+            u64::from(s.max_live_models),
+        );
+        for y in self.run(end_year) {
+            metrics.gauge_set(
+                "harmonia_fleet_total_units",
+                &[("year", &y.year.to_string())],
+                y.total_units,
+            );
+        }
+        s
+    }
 }
 
 /// Fleet-wide aggregate of a simulated window (Figure 3c's headline
@@ -322,6 +355,29 @@ mod tests {
         }
         assert_eq!(forward, backward);
         assert_eq!(forward, tree[0]);
+    }
+
+    #[test]
+    fn publish_metrics_mirrors_the_summary() {
+        let m = FleetModel::douyin_like();
+        let reg = harmonia_sim::MetricsRegistry::enabled();
+        let s = m.publish_metrics(2024, &reg);
+        assert_eq!(s, m.summarize(2024));
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("harmonia_fleet_peak_units"), s.peak_units);
+        assert_eq!(snap.gauge("harmonia_fleet_peak_year"), 2024);
+        // One labelled total-units gauge per simulated year.
+        let prom = snap.export_prometheus();
+        assert!(prom.contains("harmonia_fleet_total_units{year=\"2018\"}"));
+        assert!(prom.contains("harmonia_fleet_total_units{year=\"2024\"}"));
+    }
+
+    #[test]
+    fn publish_metrics_to_disabled_registry_is_a_no_op() {
+        let reg = harmonia_sim::MetricsRegistry::disabled();
+        let s = FleetModel::douyin_like().publish_metrics(2024, &reg);
+        assert!(s.peak_units > 10_000);
+        assert!(reg.snapshot().is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! *degraded* here; the shell continues operating the healthy modules and
 //! the transition stays visible through the normal stats path.
 
-use harmonia_sim::{Picos, TraceCollector, TraceEventKind};
+use harmonia_sim::{MetricsRegistry, Picos, TraceCollector, TraceEventKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -47,6 +47,7 @@ impl fmt::Display for RbbHealth {
 pub struct HealthLedger {
     entries: BTreeMap<(u8, u8), RbbHealth>,
     trace: TraceCollector,
+    metrics: MetricsRegistry,
 }
 
 impl HealthLedger {
@@ -60,6 +61,14 @@ impl HealthLedger {
     /// its own collector during resilient bring-up).
     pub fn set_trace_collector(&mut self, trace: TraceCollector) {
         self.trace = trace;
+    }
+
+    /// Attaches a metrics registry: the degraded-module count is
+    /// published as the `harmonia_shell_degraded_modules` gauge, and each
+    /// degradation sets a per-module
+    /// `harmonia_shell_module_degraded{rbb,inst}` gauge to 1.
+    pub fn set_metrics_registry(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Marks a module degraded. Returns `false` if it already was (the
@@ -76,6 +85,21 @@ impl HealthLedger {
                         instance_id,
                     },
                 );
+                self.metrics.gauge_set(
+                    "harmonia_shell_module_degraded",
+                    &[
+                        ("rbb", &rbb_id.to_string()),
+                        ("inst", &instance_id.to_string()),
+                    ],
+                    1,
+                );
+                let degraded = self
+                    .entries
+                    .values()
+                    .filter(|h| h.is_degraded())
+                    .count() as u64;
+                self.metrics
+                    .gauge_set("harmonia_shell_degraded_modules", &[], degraded);
                 true
             }
         }

@@ -131,6 +131,12 @@ impl LogHistogram {
         self.max
     }
 
+    /// Exact sum of all samples (`u128`: 2^64 samples of `u64::MAX`
+    /// cannot overflow it). The Prometheus summary `_sum` line.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of all samples, rounded down (0 when empty).
     pub fn mean(&self) -> u64 {
         if self.count == 0 {
@@ -284,6 +290,69 @@ mod tests {
         assert_eq!(ab.count(), 6);
         assert_eq!(ab.min(), 5);
         assert_eq!(ab.max(), 160_000);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero_at_every_rank() {
+        let h = LogHistogram::new();
+        for p in [0.001, 1.0, 50.0, 99.0, 99.99, 100.0] {
+            assert_eq!(h.percentile(p), 0);
+        }
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(123_456);
+        for p in [0.001, 1.0, 50.0, 99.0, 99.99, 100.0] {
+            assert_eq!(h.percentile(p), 123_456);
+        }
+        assert_eq!(h.sum(), 123_456);
+        assert_eq!(h.max(), 123_456);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in [0u64, 7, 13] {
+            a.record(v);
+        }
+        for v in [1_000u64, 2_000] {
+            b.record(v);
+        }
+        for v in [5u64, 900_000, u64::MAX] {
+            c.record(v);
+        }
+        // merge(a, merge(b, c))
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        // merge(merge(a, b), c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        assert_eq!(a_bc, ab_c);
+        assert_eq!(a_bc.count(), 8);
+        assert_eq!(a_bc.sum(), a.sum() + b.sum() + c.sum());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, before);
+        let mut empty = LogHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

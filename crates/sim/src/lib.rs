@@ -31,6 +31,7 @@ pub mod exec;
 pub mod fault;
 pub mod fifo;
 pub mod histo;
+pub mod metrics;
 pub mod pipeline;
 pub mod rng;
 pub mod stats;
@@ -45,6 +46,10 @@ pub use exec::WorkerPool;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultReport};
 pub use fifo::{BeatFate, FifoFullError, SyncFifo};
 pub use histo::LogHistogram;
+pub use metrics::{
+    evaluate_slos, par_metered, FlightRecorder, MetricsRegistry, MetricsSample, MetricsScraper,
+    MetricsSnapshot, Slo, SloObjective, SloReport, SloResult, METRICS_ENV, METRICS_PERIOD_ENV,
+};
 pub use pipeline::{Pipeline, PushError};
 pub use rng::SplitMix64;
 pub use stats::{LatencyStats, Throughput};
