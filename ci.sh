@@ -54,4 +54,16 @@ echo "==> cmdpath bench (smoke): batch x depth sweep, simulated throughput"
 TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench cmdpath
 cp target/testkit-bench/BENCH_cmdpath.json .
 
+echo "==> tenancy: shell/host suites under both scheduling policies"
+HARMONIA_TENANT_POLICY=rr cargo test -q --offline --locked \
+    -p harmonia-shell --test tenancy_properties \
+    -p harmonia-host --test tenant_campaigns
+HARMONIA_TENANT_POLICY=wfq cargo test -q --offline --locked \
+    -p harmonia-shell --test tenancy_properties \
+    -p harmonia-host --test tenant_campaigns
+
+echo "==> tenancy bench (smoke): policy x tenant-count noisy-neighbor sweep"
+TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench tenancy
+cp target/testkit-bench/BENCH_tenancy.json .
+
 echo "==> ci.sh: all gates passed"

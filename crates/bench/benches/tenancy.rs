@@ -1,0 +1,53 @@
+//! Multi-tenant noisy neighbor: policy × tenant-count sweep.
+//!
+//! Like `cmdpath`, every number here is *simulated* time from the
+//! tenancy models, so the emitted `BENCH_tenancy.json` is deterministic
+//! and committable. The artifact lands in `TESTKIT_BENCH_DIR` (default
+//! `target/testkit-bench`); `ci.sh` copies it to the repo root.
+
+use harmonia_bench::tenancy;
+use std::path::PathBuf;
+
+fn out_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("TESTKIT_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = start
+        .ancestors()
+        .filter(|a| a.join("Cargo.toml").is_file())
+        .last()
+        .unwrap_or(&start)
+        .to_path_buf();
+    root.join("target").join("testkit-bench")
+}
+
+fn main() {
+    let points = tenancy::sweep();
+    for p in &points {
+        println!(
+            "tenancy/{:<14} victim p99 {:>13} ps   solo {:>9} ps   ({:>8.2}x)   \
+             slices {:>3}   switches {:>3}   quota {:>3}",
+            p.name(),
+            p.victim_p99_ps,
+            p.victim_solo_p99_ps,
+            p.p99_ratio,
+            p.victim_slices,
+            p.switches,
+            p.quota_exhausted,
+        );
+    }
+    let dir = out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[tenancy] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_tenancy.json");
+    match std::fs::write(&path, tenancy::sweep_json(&points)) {
+        Ok(()) => println!(
+            "\n[tenancy] sweep complete; JSON artifact at {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("[tenancy] cannot write {}: {e}", path.display()),
+    }
+}

@@ -20,6 +20,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod metrics_run;
 pub mod tables;
+pub mod tenancy;
 pub mod trace_run;
 
 /// Every table of the evaluation, in the paper's order.

@@ -14,7 +14,9 @@
 
 use crate::codes::{CommandCode, SrcId};
 use crate::packet::{CommandPacket, DecodeError, VERSION};
-use crate::queue::{CompletionQueue, CompletionRecord, CompletionStatus, SubmissionQueue};
+use crate::queue::{
+    CommandBudget, CompletionQueue, CompletionRecord, CompletionStatus, SubmissionQueue,
+};
 use std::collections::btree_map::Entry;
 use harmonia_hw::regfile::{RegOp, RegisterFile};
 use harmonia_hw::resource::ResourceUsage;
@@ -132,6 +134,10 @@ pub struct DrainOutcome {
     pub responses: Vec<(u32, CommandPacket)>,
     /// Typed errors for `CompletionStatus::Error` records, keyed by tag.
     pub errors: Vec<(u32, KernelError)>,
+    /// Whether the drain stopped because the tenant's
+    /// [`CommandBudget`] ran out with work
+    /// still queued (never set on the unbudgeted path).
+    pub quota_exhausted: bool,
 }
 
 /// The unified control kernel.
@@ -447,6 +453,27 @@ impl UnifiedControlKernel {
         n: usize,
         reply_to: SrcId,
     ) -> DrainOutcome {
+        let mut unlimited = CommandBudget::unlimited();
+        self.ring_doorbell_budgeted(sq, cq, n, reply_to, &mut unlimited)
+    }
+
+    /// [`UnifiedControlKernel::ring_doorbell`] with a tenant
+    /// [`CommandBudget`]: every drained descriptor is charged against
+    /// the budget and the drain refuses to start a descriptor past
+    /// exhaustion. When the budget runs dry with descriptors still
+    /// queued, [`DrainOutcome::quota_exhausted`] is set and a
+    /// `QuotaExhausted` trace instant plus a
+    /// `harmonia_kernel_quota_exhausted_total` counter tick record the
+    /// preemption cause. With [`CommandBudget::unlimited`] this is
+    /// byte-for-byte the unbudgeted path.
+    pub fn ring_doorbell_budgeted(
+        &mut self,
+        sq: &mut SubmissionQueue,
+        cq: &mut CompletionQueue,
+        n: usize,
+        reply_to: SrcId,
+        budget: &mut CommandBudget,
+    ) -> DrainOutcome {
         let drain_start = self.trace_clock_ps;
         self.metrics
             .gauge_max("harmonia_kernel_sq_high_water", &[], sq.len() as u64);
@@ -455,12 +482,17 @@ impl UnifiedControlKernel {
             exec_ps: 0,
             responses: Vec::new(),
             errors: Vec::new(),
+            quota_exhausted: false,
         };
         for _ in 0..n {
             if cq.is_full() {
                 break;
             }
+            if budget.exhausted() {
+                break;
+            }
             let Some(desc) = sq.pop() else { break };
+            budget.charge();
             out.drained += 1;
             let status = match self.submit_bytes_or_nack(&desc.bytes, reply_to) {
                 Ok(Some(nack)) => CompletionStatus::Nack {
@@ -506,6 +538,18 @@ impl UnifiedControlKernel {
                     entries: out.drained as u32,
                 },
             );
+        }
+        if budget.exhausted() && !sq.is_empty() {
+            out.quota_exhausted = true;
+            self.trace.instant(
+                self.trace_clock_ps,
+                TraceEventKind::QuotaExhausted {
+                    tenant: budget.tenant,
+                    granted: budget.granted,
+                },
+            );
+            self.metrics
+                .counter_inc("harmonia_kernel_quota_exhausted_total", &[]);
         }
         out
     }
@@ -1107,5 +1151,113 @@ mod tests {
         let rbb = shell.rbbs()[0].as_ref();
         k.register_module(ModuleHandle::from_rbb(rbb, 0));
         k.register_module(ModuleHandle::from_rbb(rbb, 0));
+    }
+
+    fn health_desc(tag: u32) -> crate::queue::SqDescriptor {
+        let pkt = CommandPacket::new(SrcId::Application, 0, 0, CommandCode::HealthRead)
+            .with_idempotency_tag(tag);
+        crate::queue::SqDescriptor {
+            tag,
+            bytes: pkt.encode(),
+        }
+    }
+
+    #[test]
+    fn budgeted_drain_stops_at_quota_and_flags_it() {
+        let mut k = kernel_on_device_a();
+        let mut sq = SubmissionQueue::new(16);
+        let mut cq = CompletionQueue::new(16);
+        for tag in 0..8 {
+            sq.push(health_desc(tag)).unwrap();
+        }
+        let mut budget = CommandBudget::new(3, 5);
+        let out = k.ring_doorbell_budgeted(&mut sq, &mut cq, 16, SrcId::Application, &mut budget);
+        assert_eq!(out.drained, 5);
+        assert!(out.quota_exhausted, "work was still queued");
+        assert!(budget.exhausted());
+        assert_eq!(budget.remaining(), 0);
+        assert_eq!(sq.len(), 3, "undrained descriptors stay queued");
+        // A fresh slice budget picks the backlog up where it stopped.
+        let mut next = CommandBudget::new(3, 5);
+        let out = k.ring_doorbell_budgeted(&mut sq, &mut cq, 16, SrcId::Application, &mut next);
+        assert_eq!(out.drained, 3);
+        assert!(!out.quota_exhausted, "queue emptied before the budget");
+        assert_eq!(next.remaining(), 2);
+    }
+
+    #[test]
+    fn exact_budget_is_not_flagged_exhausted() {
+        let mut k = kernel_on_device_a();
+        let mut sq = SubmissionQueue::new(8);
+        let mut cq = CompletionQueue::new(8);
+        for tag in 0..4 {
+            sq.push(health_desc(tag)).unwrap();
+        }
+        let mut budget = CommandBudget::new(0, 4);
+        let out = k.ring_doorbell_budgeted(&mut sq, &mut cq, 8, SrcId::Application, &mut budget);
+        assert_eq!(out.drained, 4);
+        assert!(
+            !out.quota_exhausted,
+            "an empty SQ is a finished slice, not a preemption"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_doorbell() {
+        let run = |budgeted: bool| {
+            let mut k = kernel_on_device_a();
+            let tc = harmonia_sim::TraceCollector::enabled();
+            k.set_trace_collector(tc.clone());
+            let mut sq = SubmissionQueue::new(16);
+            let mut cq = CompletionQueue::new(16);
+            for tag in 0..10 {
+                sq.push(health_desc(tag)).unwrap();
+            }
+            let out = if budgeted {
+                let mut b = CommandBudget::unlimited();
+                k.ring_doorbell_budgeted(&mut sq, &mut cq, 16, SrcId::Application, &mut b)
+            } else {
+                k.ring_doorbell(&mut sq, &mut cq, 16, SrcId::Application)
+            };
+            let mut recs = Vec::new();
+            while let Some(r) = cq.pop() {
+                recs.push(r);
+            }
+            let trace: Vec<String> =
+                tc.take().events().iter().map(|e| format!("{e:?}")).collect();
+            (out.drained, out.exec_ps, out.quota_exhausted, recs, trace)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn quota_exhaustion_emits_trace_and_metric() {
+        let mut k = kernel_on_device_a();
+        let tc = harmonia_sim::TraceCollector::enabled();
+        let m = MetricsRegistry::enabled();
+        k.set_trace_collector(tc.clone());
+        k.set_metrics_registry(m.clone());
+        let mut sq = SubmissionQueue::new(8);
+        let mut cq = CompletionQueue::new(8);
+        for tag in 0..6 {
+            sq.push(health_desc(tag)).unwrap();
+        }
+        let mut budget = CommandBudget::new(7, 2);
+        k.ring_doorbell_budgeted(&mut sq, &mut cq, 8, SrcId::Application, &mut budget);
+        let trace = tc.take();
+        let quota: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::QuotaExhausted { tenant, granted } => Some((tenant, granted)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(quota, vec![(7, 2)]);
+        let prom = m.snapshot().export_prometheus();
+        assert!(
+            prom.contains("harmonia_kernel_quota_exhausted_total 1"),
+            "{prom}"
+        );
     }
 }

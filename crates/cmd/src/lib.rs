@@ -27,6 +27,6 @@ pub use codes::{CommandCode, SrcId};
 pub use kernel::{DrainOutcome, KernelError, ModuleHandle, UnifiedControlKernel};
 pub use packet::{CommandPacket, DecodeError, IDEMPOTENCY_FLAG};
 pub use queue::{
-    CompletionQueue, CompletionRecord, CompletionStatus, SqDescriptor, SubmissionQueue,
-    DEFAULT_SQ_DEPTH, SQ_DEPTH_ENV,
+    CommandBudget, CompletionQueue, CompletionRecord, CompletionStatus, SqDescriptor,
+    SubmissionQueue, DEFAULT_SQ_DEPTH, SQ_DEPTH_ENV,
 };

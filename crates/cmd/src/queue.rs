@@ -263,6 +263,54 @@ impl CompletionQueue {
     }
 }
 
+/// Per-slice doorbell quota for a tenant, enforced by
+/// [`UnifiedControlKernel::ring_doorbell_budgeted`](crate::UnifiedControlKernel::ring_doorbell_budgeted):
+/// the tenant scheduler grants a command budget per time slice, the
+/// kernel charges every drained descriptor against it and refuses to
+/// drain past exhaustion — a flooding tenant stalls its *own* rings
+/// instead of monopolizing the control kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommandBudget {
+    /// Tenant index the budget belongs to (scheduler registration
+    /// order); carried into `QuotaExhausted` trace events.
+    pub tenant: u32,
+    /// Commands the slice granted.
+    pub granted: u64,
+    /// Commands charged so far.
+    pub used: u64,
+}
+
+impl CommandBudget {
+    /// A fresh budget of `granted` commands for `tenant`.
+    pub fn new(tenant: u32, granted: u64) -> CommandBudget {
+        CommandBudget {
+            tenant,
+            granted,
+            used: 0,
+        }
+    }
+
+    /// An effectively unlimited budget (the single-tenant fast path).
+    pub fn unlimited() -> CommandBudget {
+        CommandBudget::new(u32::MAX, u64::MAX)
+    }
+
+    /// Commands still chargeable.
+    pub fn remaining(&self) -> u64 {
+        self.granted.saturating_sub(self.used)
+    }
+
+    /// Whether the budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.granted
+    }
+
+    /// Charges one command.
+    pub fn charge(&mut self) {
+        self.used += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

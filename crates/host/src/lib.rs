@@ -22,7 +22,10 @@
 //!   deterministic backoff, and the [`resilience::DriverReport`] failure
 //!   accounting the fault campaigns assert over;
 //! * [`batch`] — the batched SQ/CQ submission path: N commands per
-//!   doorbell, one DMA burst per batch, coalesced completion interrupts.
+//!   doorbell, one DMA burst per batch, coalesced completion interrupts;
+//! * [`tenant`] — the multi-tenant host driver: per-tenant SQ/CQ rings
+//!   inside scheduler-pinned queue ranges, driven one budget-enforced
+//!   time slice at a time.
 
 pub mod batch;
 pub mod bmc;
@@ -32,6 +35,7 @@ pub mod irq;
 pub mod migration;
 pub mod reg_driver;
 pub mod resilience;
+pub mod tenant;
 pub mod tool;
 
 pub use batch::{BatchedCommandDriver, CMD_BATCH_ENV, DEFAULT_CMD_BATCH};
@@ -42,4 +46,5 @@ pub use resilience::{DriverError, DriverReport, RetryPolicy};
 pub use irq::{IrqModeration, IrqModerator};
 pub use migration::{migration_report, MigrationReport};
 pub use reg_driver::RegisterDriver;
+pub use tenant::{TenantHostDriver, TenantStats, DEFAULT_TENANT_RING_DEPTH};
 pub use tool::ControlTool;

@@ -15,7 +15,10 @@
 //!   role-specific shells of Figures 11 and 12;
 //! * [`role`] — role requirement descriptions used to drive tailoring;
 //! * [`pr`] — multi-tenancy via partial reconfiguration: PR slots over the
-//!   role region with per-tenant queue isolation (§6, Discussion).
+//!   role region with per-tenant queue isolation (§6, Discussion);
+//! * [`sched`] — deterministic time-multiplexing of a PR slot across
+//!   more tenants than slots: round-robin or weighted-fair slices with
+//!   honest context-save/restore charges.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@ pub mod health;
 pub mod pr;
 pub mod rbb;
 pub mod role;
+pub mod sched;
 pub mod tailor;
 pub mod unified;
 
@@ -45,5 +49,6 @@ pub use health::{HealthLedger, RbbHealth};
 pub use pr::{MultiTenantRegion, TenancyError, TenantRole};
 pub use rbb::{MigrationKind, Rbb, RbbKind};
 pub use role::{MemoryDemand, RoleSpec};
+pub use sched::{SliceGrant, TenantPolicy, TenantScheduler};
 pub use tailor::{TailorError, TailoredShell};
 pub use unified::UnifiedShell;

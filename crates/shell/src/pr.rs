@@ -14,6 +14,7 @@
 
 use crate::tailor::TailoredShell;
 use harmonia_hw::resource::ResourceUsage;
+use harmonia_sim::metrics::MetricsRegistry;
 use harmonia_sim::Picos;
 use std::error::Error;
 use std::fmt;
@@ -114,6 +115,31 @@ pub enum TenancyError {
         /// Offending index.
         slot: usize,
     },
+    /// An explicit queue range collides with a range already assigned to
+    /// another slot — caught at deploy time, before the tenant lands.
+    RangeOverlap {
+        /// Target slot.
+        slot: usize,
+        /// The requested range.
+        requested: Range<u16>,
+        /// The slot whose range it collides with.
+        other: usize,
+    },
+    /// An explicit queue range reaches past the region's queue space.
+    RangeOutOfBounds {
+        /// The requested range.
+        requested: Range<u16>,
+        /// Total queues the region owns.
+        total: u16,
+    },
+    /// An explicit queue range's width disagrees with the tenant's
+    /// declared queue demand.
+    RangeMismatch {
+        /// The requested range.
+        requested: Range<u16>,
+        /// Queues the tenant declared.
+        declared: u16,
+    },
 }
 
 impl fmt::Display for TenancyError {
@@ -131,6 +157,28 @@ impl fmt::Display for TenancyError {
                 available,
             } => write!(f, "wanted {requested} queues, {available} available"),
             TenancyError::SlotEmpty { slot } => write!(f, "slot {slot} is empty"),
+            TenancyError::RangeOverlap {
+                slot,
+                requested,
+                other,
+            } => write!(
+                f,
+                "queue range {}..{} for slot {slot} overlaps slot {other}",
+                requested.start, requested.end
+            ),
+            TenancyError::RangeOutOfBounds { requested, total } => write!(
+                f,
+                "queue range {}..{} exceeds the {total}-queue region",
+                requested.start, requested.end
+            ),
+            TenancyError::RangeMismatch {
+                requested,
+                declared,
+            } => write!(
+                f,
+                "queue range {}..{} is not the declared {declared} queues wide",
+                requested.start, requested.end
+            ),
         }
     }
 }
@@ -138,7 +186,7 @@ impl fmt::Display for TenancyError {
 impl Error for TenancyError {}
 
 /// The multi-tenant role region over a tailored shell.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MultiTenantRegion {
     slots: Vec<PrSlot>,
     /// Total host queues available for tenant isolation.
@@ -149,6 +197,8 @@ pub struct MultiTenantRegion {
     queue_ranges: Vec<Option<Range<u16>>>,
     /// Accumulated reconfiguration time.
     total_reconfig_ps: Picos,
+    /// Observability sink; disabled (and free) by default.
+    metrics: MetricsRegistry,
 }
 
 impl MultiTenantRegion {
@@ -195,7 +245,15 @@ impl MultiTenantRegion {
             next_queue: 0,
             queue_ranges: vec![None; slot_count],
             total_reconfig_ps: 0,
+            metrics: MetricsRegistry::default(),
         }
+    }
+
+    /// Attaches a metrics registry; reconfiguration charges become
+    /// `harmonia_pr_reconfig_ps_total` / `harmonia_pr_reconfigs_total`
+    /// counters in Prometheus exports.
+    pub fn set_metrics_registry(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// The PR slots.
@@ -223,13 +281,33 @@ impl MultiTenantRegion {
         self.total_reconfig_ps
     }
 
-    /// Deploys a tenant into a slot: capacity check, disjoint queue-range
-    /// assignment, and the PR load time charged.
-    ///
-    /// # Errors
-    ///
-    /// See [`TenancyError`].
-    pub fn deploy(&mut self, slot: usize, tenant: TenantRole) -> Result<Picos, TenancyError> {
+    /// Checks a candidate range for a slot: in bounds and disjoint from
+    /// every range already assigned to *another* slot.
+    fn validate_range(&self, slot: usize, range: &Range<u16>) -> Result<(), TenancyError> {
+        if range.end > self.total_queues || range.start > range.end {
+            return Err(TenancyError::RangeOutOfBounds {
+                requested: range.clone(),
+                total: self.total_queues,
+            });
+        }
+        for (other, r) in self.queue_ranges.iter().enumerate() {
+            let Some(r) = r else { continue };
+            if other == slot {
+                continue;
+            }
+            if range.start < r.end && r.start < range.end {
+                return Err(TenancyError::RangeOverlap {
+                    slot,
+                    requested: range.clone(),
+                    other,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Slot fit/occupancy pre-flight shared by the deploy paths.
+    fn validate_slot(&self, slot: usize, tenant: &TenantRole) -> Result<(), TenancyError> {
         let s = self
             .slots
             .get(slot)
@@ -247,20 +325,117 @@ impl MultiTenantRegion {
                 capacity: s.capacity,
             });
         }
+        Ok(())
+    }
+
+    /// Lands a validated tenant in a slot and charges the PR load time.
+    fn install(&mut self, slot: usize, tenant: TenantRole, range: Range<u16>) -> Picos {
+        self.queue_ranges[slot] = Some(range);
+        let s = &mut self.slots[slot];
+        s.tenant = Some(tenant);
+        s.reconfigurations += 1;
+        let t = s.reconfig_time_ps();
+        self.total_reconfig_ps += t;
+        self.metrics
+            .counter_add("harmonia_pr_reconfig_ps_total", &[], t);
+        self.metrics.counter_inc("harmonia_pr_reconfigs_total", &[]);
+        t
+    }
+
+    /// Deploys a tenant into a slot: capacity check, disjoint queue-range
+    /// assignment (validated *before* the tenant lands), and the PR load
+    /// time charged.
+    ///
+    /// # Errors
+    ///
+    /// See [`TenancyError`].
+    pub fn deploy(&mut self, slot: usize, tenant: TenantRole) -> Result<Picos, TenancyError> {
+        self.validate_slot(slot, &tenant)?;
         if tenant.queues > self.free_queues() {
             return Err(TenancyError::QueuesExhausted {
                 requested: tenant.queues,
                 available: self.free_queues(),
             });
         }
-        let start = self.next_queue;
-        self.next_queue += tenant.queues;
-        self.queue_ranges[slot] = Some(start..self.next_queue);
-        let s = &mut self.slots[slot];
-        s.tenant = Some(tenant);
-        s.reconfigurations += 1;
+        let range = self.next_queue..self.next_queue + tenant.queues;
+        // Defense in depth: the monotone allocator cannot hand out an
+        // overlapping range on its own, but scheduler-reserved ranges
+        // (restored via `deploy_with_range`) share the same space — fail
+        // the deploy rather than break isolation after the fact.
+        self.validate_range(slot, &range)?;
+        self.next_queue = range.end;
+        Ok(self.install(slot, tenant, range))
+    }
+
+    /// Reserves a disjoint queue range without touching any slot — the
+    /// tenant scheduler pins one persistent range per registered tenant
+    /// and restores it on every time-slice swap, so a tenant's doorbells
+    /// survive preemption (same tenant, same queues: no cross-tenant
+    /// leak, unlike recycling a *retired* range).
+    ///
+    /// # Errors
+    ///
+    /// [`TenancyError::QueuesExhausted`] when fewer than `n` queues remain.
+    pub fn reserve_queues(&mut self, n: u16) -> Result<Range<u16>, TenancyError> {
+        if n > self.free_queues() {
+            return Err(TenancyError::QueuesExhausted {
+                requested: n,
+                available: self.free_queues(),
+            });
+        }
+        let range = self.next_queue..self.next_queue + n;
+        self.next_queue = range.end;
+        Ok(range)
+    }
+
+    /// Deploys a tenant into a slot with an explicit, previously reserved
+    /// queue range (see [`MultiTenantRegion::reserve_queues`]). The range
+    /// is validated eagerly — bounds, width against the tenant's declared
+    /// demand, and disjointness against every other slot — so an
+    /// isolation violation is a deploy-time [`TenancyError`], never a
+    /// broken [`MultiTenantRegion::queues_disjoint`] after the fact.
+    ///
+    /// # Errors
+    ///
+    /// See [`TenancyError`].
+    pub fn deploy_with_range(
+        &mut self,
+        slot: usize,
+        tenant: TenantRole,
+        range: Range<u16>,
+    ) -> Result<Picos, TenancyError> {
+        self.validate_slot(slot, &tenant)?;
+        self.validate_range(slot, &range)?;
+        if range.end - range.start != tenant.queues {
+            return Err(TenancyError::RangeMismatch {
+                requested: range,
+                declared: tenant.queues,
+            });
+        }
+        Ok(self.install(slot, tenant, range))
+    }
+
+    /// Charges a context save against a slot: before an occupied slot is
+    /// preempted, the tenant's live state is read back over the same
+    /// configuration port the bitstream loads through, so it costs one
+    /// more [`PrSlot::reconfig_time_ps`]. Shows up in
+    /// `harmonia_pr_reconfig_ps_total` like any other charge.
+    ///
+    /// # Errors
+    ///
+    /// [`TenancyError::NoSuchSlot`] or [`TenancyError::SlotEmpty`].
+    pub fn charge_context_save(&mut self, slot: usize) -> Result<Picos, TenancyError> {
+        let s = self
+            .slots
+            .get(slot)
+            .ok_or(TenancyError::NoSuchSlot { slot })?;
+        if s.tenant.is_none() {
+            return Err(TenancyError::SlotEmpty { slot });
+        }
         let t = s.reconfig_time_ps();
         self.total_reconfig_ps += t;
+        self.metrics
+            .counter_add("harmonia_pr_reconfig_ps_total", &[], t);
         Ok(t)
     }
 
@@ -284,6 +459,11 @@ impl MultiTenantRegion {
     /// Swaps a slot's tenant in one operation (undeploy + deploy), the hot
     /// path of time-shared multi-tenancy. Returns `(evicted, load_time)`.
     ///
+    /// The swap is atomic: every failure mode is checked *before* the
+    /// resident is evicted (retired queues are never recycled, so the
+    /// incoming tenant's queue demand is against `free_queues()` as-is),
+    /// and on error the region is unchanged.
+    ///
     /// # Errors
     ///
     /// See [`TenancyError`].
@@ -297,11 +477,20 @@ impl MultiTenantRegion {
             .slots
             .get(slot)
             .ok_or(TenancyError::NoSuchSlot { slot })?;
+        if s.tenant.is_none() {
+            return Err(TenancyError::SlotEmpty { slot });
+        }
         if !tenant.resources.fits_in(&s.capacity) {
             return Err(TenancyError::DoesNotFit {
                 slot,
                 requested: tenant.resources,
                 capacity: s.capacity,
+            });
+        }
+        if tenant.queues > self.free_queues() {
+            return Err(TenancyError::QueuesExhausted {
+                requested: tenant.queues,
+                available: self.free_queues(),
             });
         }
         let evicted = self.undeploy(slot)?;
@@ -430,5 +619,80 @@ mod tests {
     #[should_panic(expected = "at least one PR slot")]
     fn zero_slots_rejected() {
         let _ = region(0);
+    }
+
+    #[test]
+    fn reserved_range_survives_preemption_cycles() {
+        let mut r = region(1);
+        let range = r.reserve_queues(16).unwrap();
+        assert_eq!(range, 0..16);
+        for _ in 0..100 {
+            r.deploy_with_range(0, small_tenant("t", 16), range.clone())
+                .unwrap();
+            assert_eq!(r.queue_range(0), Some(range.clone()));
+            assert!(r.queues_disjoint());
+            r.undeploy(0).unwrap();
+        }
+        // Pinned ranges never eat into the free pool a second time.
+        assert_eq!(r.free_queues(), 1024 - 16);
+    }
+
+    #[test]
+    fn deploy_with_range_rejects_overlap_eagerly() {
+        let mut r = region(2);
+        let a = r.reserve_queues(32).unwrap();
+        r.deploy_with_range(0, small_tenant("a", 32), a.clone())
+            .unwrap();
+        let err = r
+            .deploy_with_range(1, small_tenant("b", 8), 16..24)
+            .unwrap_err();
+        assert!(matches!(err, TenancyError::RangeOverlap { other: 0, .. }));
+        assert!(r.queues_disjoint(), "failed deploy must not land");
+        assert_eq!(r.occupied(), 1);
+    }
+
+    #[test]
+    fn deploy_with_range_rejects_bounds_and_width() {
+        let mut r = region(1);
+        assert!(matches!(
+            r.deploy_with_range(0, small_tenant("t", 8), 1020..1028),
+            Err(TenancyError::RangeOutOfBounds { total: 1024, .. })
+        ));
+        assert!(matches!(
+            r.deploy_with_range(0, small_tenant("t", 8), 0..4),
+            Err(TenancyError::RangeMismatch { declared: 8, .. })
+        ));
+        assert_eq!(r.occupied(), 0);
+    }
+
+    #[test]
+    fn context_save_charges_one_reconfig_time() {
+        let mut r = region(2);
+        r.deploy(0, small_tenant("t", 8)).unwrap();
+        let before = r.total_reconfig_ps();
+        let t = r.charge_context_save(0).unwrap();
+        assert_eq!(t, r.slots()[0].reconfig_time_ps());
+        assert_eq!(r.total_reconfig_ps(), before + t);
+        // Empty slot has no state to save.
+        assert_eq!(
+            r.charge_context_save(1),
+            Err(TenancyError::SlotEmpty { slot: 1 })
+        );
+    }
+
+    #[test]
+    fn reconfig_metrics_flow_to_registry() {
+        use harmonia_sim::metrics::MetricsRegistry;
+        let mut r = region(1);
+        let m = MetricsRegistry::enabled();
+        r.set_metrics_registry(m.clone());
+        let t = r.deploy(0, small_tenant("t", 8)).unwrap();
+        let s = r.charge_context_save(0).unwrap();
+        let text = m.snapshot().export_prometheus();
+        assert!(
+            text.contains(&format!("harmonia_pr_reconfig_ps_total {}", t + s)),
+            "{text}"
+        );
+        assert!(text.contains("harmonia_pr_reconfigs_total 1"), "{text}");
     }
 }

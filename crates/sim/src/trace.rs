@@ -172,6 +172,24 @@ pub enum TraceEventKind {
         /// Coalesced interrupts this batch cost the host.
         interrupts: u32,
     },
+    /// The tenant scheduler preempted one tenant and activated another
+    /// through the PR plane (span: context save + bitstream restore).
+    TenantSwitch {
+        /// The PR slot being time-shared.
+        slot: u32,
+        /// Outgoing tenant index (`u32::MAX` when the slot was empty).
+        from: u32,
+        /// Incoming tenant index.
+        to: u32,
+    },
+    /// A tenant burned its per-slice command budget with work still
+    /// queued, forcing preemption at the next scheduling point.
+    QuotaExhausted {
+        /// Tenant index the budget belonged to.
+        tenant: u32,
+        /// Commands the slice granted.
+        granted: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -196,6 +214,8 @@ impl TraceEventKind {
             TraceEventKind::BatchSubmit { .. } => "batch-submit",
             TraceEventKind::BatchDrain { .. } => "batch-drain",
             TraceEventKind::BatchComplete { .. } => "batch-complete",
+            TraceEventKind::TenantSwitch { .. } => "tenant-switch",
+            TraceEventKind::QuotaExhausted { .. } => "quota-exhausted",
         }
     }
 
@@ -219,6 +239,9 @@ impl TraceEventKind {
             }
             TraceEventKind::BatchSubmit { .. } | TraceEventKind::BatchComplete { .. } => "cmd",
             TraceEventKind::BatchDrain { .. } => "kernel",
+            TraceEventKind::TenantSwitch { .. } | TraceEventKind::QuotaExhausted { .. } => {
+                "tenant"
+            }
         }
     }
 
@@ -290,6 +313,15 @@ impl TraceEventKind {
             } => vec![
                 ("entries", entries.to_string()),
                 ("interrupts", interrupts.to_string()),
+            ],
+            TraceEventKind::TenantSwitch { slot, from, to } => vec![
+                ("slot", slot.to_string()),
+                ("from", from.to_string()),
+                ("to", to.to_string()),
+            ],
+            TraceEventKind::QuotaExhausted { tenant, granted } => vec![
+                ("tenant", tenant.to_string()),
+                ("granted", granted.to_string()),
             ],
         }
     }
