@@ -66,4 +66,17 @@ echo "==> tenancy bench (smoke): policy x tenant-count noisy-neighbor sweep"
 TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench tenancy
 cp target/testkit-bench/BENCH_tenancy.json .
 
+echo "==> fleet: campaign suite under both engines"
+cargo test -q --offline --locked -p harmonia-fleet
+HARMONIA_ENGINE=event cargo test -q --offline --locked -p harmonia-fleet
+
+echo "==> fleet bench (smoke): policy x fleet-size sweep with a peak-hour kill"
+TESTKIT_BENCH_SMOKE=1 cargo bench -q --offline --locked -p harmonia-bench --bench fleet
+cp target/testkit-bench/BENCH_fleet.json .
+
+echo "==> fleet metrics smoke: Prometheus export from a fleet campaign"
+HARMONIA_FLEET_DEVICES=128 cargo run -q --offline --locked -p harmonia-bench --bin fleet > fleet_export.prom
+grep -q "^harmonia_fleet_cmds_executed " fleet_export.prom
+rm -f fleet_export.prom
+
 echo "==> ci.sh: all gates passed"

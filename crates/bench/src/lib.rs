@@ -18,6 +18,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod fleet;
 pub mod metrics_run;
 pub mod tables;
 pub mod tenancy;

@@ -48,12 +48,13 @@
 //! | [`hw`] | substrate | Table 2 device catalog, resource model, AXI/Avalon interface specs, register files, vendor IP models (MAC, PCIe DMA, DDR, HBM) |
 //! | [`metrics`] | evaluation | workload/config/diff accounting, fleet model, report tables |
 //! | [`platform`] | platform-specific (§3.2) | device + vendor adapters, lightweight interface wrappers over the six unified types |
-//! | [`shell`] | platform-independent (§3.3) | Network/Memory/Host RBBs, parameterized CDC, unified shell, hierarchical tailoring, health ledger |
-//! | [`cmd`] | platform-independent (§3.3.3) | command packets (Fig. 9), command codes, the unified control kernel |
-//! | [`host`] | platform-independent | register vs. command drivers, DMA engine with isolated control queue, retry/backoff resilience, control tool, BMC, irq moderation |
+//! | [`shell`] | platform-independent (§3.3) | Network/Memory/Host RBBs, parameterized CDC, unified shell, hierarchical tailoring, health ledger, partial reconfiguration plane ([`shell::pr`]), vFPGA time-multiplexing scheduler ([`shell::sched`]) |
+//! | [`cmd`] | platform-independent (§3.3.3) | command packets (Fig. 9), command codes, the unified control kernel, batched SQ/CQ queue pairs with doorbell batching ([`cmd::queue`]) |
+//! | [`host`] | platform-independent | register vs. command drivers, DMA engine with isolated control queue, retry/backoff resilience, command batching ([`host::batch`]), multi-tenant vFPGA scheduling ([`host::tenant`]), migration analysis ([`host::migration`]), control tool, BMC, irq moderation |
 //! | [`workloads`] | evaluation | seeded packet/memory/matmul/vector-DB/TCP generators |
 //! | [`frameworks`] | evaluation | Vitis / oneAPI / Coyote baseline models |
 //! | [`apps`] | applications | the five production applications plus the storage offload |
+//! | [`fleet`] | operations (§2.2) | cluster-scale control plane: device inventory, placement scheduler, diurnal traffic, failure domains, rolling upgrades |
 //!
 //! Beside the stack (not re-exported): `harmonia-testkit` — the hermetic
 //! property-testing/bench substrate used by every crate's tests — and
@@ -84,6 +85,8 @@ pub use harmonia_workloads as workloads;
 pub use harmonia_frameworks as frameworks;
 /// The five production applications.
 pub use harmonia_apps as apps;
+/// Cluster-scale control plane (inventory, placement, campaigns).
+pub use harmonia_fleet as fleet;
 
 pub use framework::{DeployError, Deployment, Harmonia};
 pub use project::{build_project, ProjectBundle, ProjectError};

@@ -1,0 +1,358 @@
+//! The placement scheduler: bin-packing roles onto the heterogeneous
+//! inventory by resource fit and tenant weight.
+//!
+//! Two policies share one interface. **Best-fit** is the Harmonia
+//! scheduler: it checks real shell-tailoring fit per model, claims the
+//! fastest fitting devices first, and provisions until the claimed
+//! capacity covers the role's peak demand at the tenant's
+//! weight-scaled target utilization. **Random** is the ablation
+//! baseline: spec-blind, it sizes replica counts as if every device
+//! were the fastest fitting model and scatters them uniformly — on a
+//! heterogeneous fleet that sustains >1 utilization on the slower
+//! models through the diurnal peak, which is exactly the fleet-p99
+//! blow-up `BENCH_fleet.json` quantifies.
+
+use crate::catalog::RoleClass;
+use crate::inventory::{device_speed, Inventory};
+use harmonia_hw::device::{catalog as hw_catalog, DeviceId};
+use harmonia_host::migration::migration_report;
+use harmonia_sim::{Picos, SplitMix64};
+use std::sync::OnceLock;
+
+/// Placement policy selector.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Capacity-aware best-fit bin-packing (the Harmonia scheduler).
+    BestFit,
+    /// Spec-blind uniform scatter (the ablation baseline).
+    Random,
+}
+
+impl PlacementPolicy {
+    /// Stable lowercase name, used in reports and bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::BestFit => "bestfit",
+            PlacementPolicy::Random => "random",
+        }
+    }
+
+    /// Reads [`crate::FLEET_POLICY_ENV`] (`bestfit`/`random`,
+    /// case-insensitive); unset or unrecognized values fall back to
+    /// best-fit.
+    pub fn from_env() -> PlacementPolicy {
+        match std::env::var(crate::FLEET_POLICY_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("random") => PlacementPolicy::Random,
+            _ => PlacementPolicy::BestFit,
+        }
+    }
+}
+
+/// One role→device assignment decided by the scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index into the role catalog.
+    pub role: usize,
+    /// Device index in the inventory.
+    pub device: u32,
+}
+
+/// Placement failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A role's peak demand cannot be covered by the devices it fits.
+    InsufficientCapacity {
+        /// The role that could not be placed.
+        role: &'static str,
+        /// Peak per-tick command demand that needed covering.
+        demand: u64,
+        /// Per-tick capacity of every fitting device combined.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::InsufficientCapacity { role, demand, available } => write!(
+                f,
+                "role {role}: peak demand {demand} cmds/tick exceeds fitting capacity {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Places every role onto the inventory, returning assignments in
+/// deterministic `(role, device)` order.
+///
+/// `peaks[r]` is role `r`'s peak per-tick command demand (from
+/// [`crate::DiurnalTraffic::peak_per_role`]). Both policies leave
+/// unclaimed devices as spares for failure recovery.
+pub fn place(
+    policy: PlacementPolicy,
+    inventory: &Inventory,
+    roles: &[RoleClass],
+    peaks: &[u64],
+    seed: u64,
+) -> Result<Vec<Assignment>, PlacementError> {
+    match policy {
+        PlacementPolicy::BestFit => place_best_fit(inventory, roles, peaks),
+        PlacementPolicy::Random => place_random(inventory, roles, peaks, seed),
+    }
+}
+
+/// Best-fit: hardest roles first (largest peak demand, ties by name),
+/// fastest fitting devices first, claim until the claimed capacity at
+/// the tenant's target utilization covers the peak.
+fn place_best_fit(
+    inventory: &Inventory,
+    roles: &[RoleClass],
+    peaks: &[u64],
+) -> Result<Vec<Assignment>, PlacementError> {
+    let mut order: Vec<usize> = (0..roles.len()).collect();
+    order.sort_by_key(|&r| (std::cmp::Reverse(peaks[r]), roles[r].name));
+    let mut claimed = vec![false; inventory.devices.len()];
+    let mut out = Vec::new();
+    for r in order {
+        let role = &roles[r];
+        // Fitting, unclaimed devices, fastest model first (stable by
+        // index within a model).
+        let mut candidates: Vec<u32> = inventory
+            .devices
+            .iter()
+            .filter(|d| !claimed[d.index as usize] && role.fits(d.model))
+            .map(|d| d.index)
+            .collect();
+        candidates.sort_by_key(|&i| {
+            let m = inventory.devices[i as usize].model;
+            (std::cmp::Reverse(device_speed(m)), i)
+        });
+        // Claim until capacity × target_util covers the peak.
+        let need = peaks[r].saturating_mul(1_000_000);
+        let mut covered = 0u64; // capacity × util, in ppm-commands
+        let mut available = 0u64;
+        for &i in &candidates {
+            available += role.capacity_per_tick(device_speed(inventory.devices[i as usize].model));
+        }
+        for &i in &candidates {
+            if covered >= need && !out.is_empty() {
+                // Every role claims at least one device even at zero
+                // demand, so the role stays routable.
+                if out.iter().any(|a: &Assignment| a.role == r) {
+                    break;
+                }
+            }
+            let cap = role.capacity_per_tick(device_speed(inventory.devices[i as usize].model));
+            claimed[i as usize] = true;
+            out.push(Assignment { role: r, device: i });
+            covered = covered.saturating_add(cap.saturating_mul(role.target_util_ppm()));
+        }
+        if covered < need {
+            return Err(PlacementError::InsufficientCapacity {
+                role: role.name,
+                demand: peaks[r],
+                available,
+            });
+        }
+    }
+    out.sort_by_key(|a| (a.role, a.device));
+    Ok(out)
+}
+
+/// Random: spec-blind. Replica counts are sized as if every claimed
+/// device served at the fleet's nominal (fastest-model) rate — the
+/// scheduler is blind to per-model speeds — and devices are drawn
+/// uniformly from the unclaimed pool, fit-checked only at the last
+/// moment because an unfittable assignment would not even deploy.
+fn place_random(
+    inventory: &Inventory,
+    roles: &[RoleClass],
+    peaks: &[u64],
+    seed: u64,
+) -> Result<Vec<Assignment>, PlacementError> {
+    let mut rng = SplitMix64::new(seed ^ 0x524e_444f_4d); // "RNDOM"
+    let mut order: Vec<usize> = (0..roles.len()).collect();
+    order.sort_by_key(|&r| (std::cmp::Reverse(peaks[r]), roles[r].name));
+    let mut claimed = vec![false; inventory.devices.len()];
+    let mut out = Vec::new();
+    for r in order {
+        let role = &roles[r];
+        // Spec-blind sizing: the baseline assumes every card serves at
+        // the nominal "catalog speed" — the fastest model in the fleet —
+        // with no idea the device it lands on may be far slower.
+        let nominal_speed = DeviceId::ALL.iter().map(|&m| device_speed(m)).max().unwrap_or(1);
+        let optimistic_cap = role.capacity_per_tick(nominal_speed);
+        let want =
+            (peaks[r].saturating_mul(1_000_000)).div_ceil(optimistic_cap * role.target_util_ppm());
+        let want = want.max(1) as usize;
+        let mut fitting: Vec<u32> = inventory
+            .devices
+            .iter()
+            .filter(|d| !claimed[d.index as usize] && role.fits(d.model))
+            .map(|d| d.index)
+            .collect();
+        if fitting.len() < want {
+            let available: u64 = fitting
+                .iter()
+                .map(|&i| role.capacity_per_tick(device_speed(inventory.devices[i as usize].model)))
+                .sum();
+            return Err(PlacementError::InsufficientCapacity {
+                role: role.name,
+                demand: peaks[r],
+                available,
+            });
+        }
+        for _ in 0..want {
+            let k = rng.next_below(fitting.len() as u64) as usize;
+            let i = fitting.swap_remove(k);
+            claimed[i as usize] = true;
+            out.push(Assignment { role: r, device: i });
+        }
+    }
+    out.sort_by_key(|a| (a.role, a.device));
+    Ok(out)
+}
+
+/// Migration/redeploy stall cost: a fixed deploy base plus a per-command
+/// modification charge from the real `migration.rs` diff.
+pub const DEPLOY_BASE_PS: Picos = 50_000_000_000; // 50 ms
+/// Per-`cmd_modification` stall charge.
+pub const CMD_MOD_PS: Picos = 10_000_000_000; // 10 ms
+
+/// Precomputed migration-cost matrix over `(model, role) → (model, role)`
+/// pairs, from the real tailoring + LCS diff in
+/// `harmonia_host::migration`. Infeasible pairs (either side does not
+/// tailor) are `None`.
+pub struct MigrationMatrix {
+    costs: Vec<Option<Picos>>,
+    n_roles: usize,
+}
+
+impl MigrationMatrix {
+    fn index(&self, from_model: DeviceId, from_role: usize, to_model: DeviceId, to_role: usize) -> usize {
+        (((from_model as usize * self.n_roles + from_role) * 4) + to_model as usize) * self.n_roles
+            + to_role
+    }
+
+    /// Stall cost of migrating a role between two placements, `None`
+    /// when either end does not tailor.
+    pub fn cost(
+        &self,
+        from_model: DeviceId,
+        from_role: usize,
+        to_model: DeviceId,
+        to_role: usize,
+    ) -> Option<Picos> {
+        self.costs[self.index(from_model, from_role, to_model, to_role)]
+    }
+}
+
+/// The process-global migration matrix for the standard catalog,
+/// computed once (≈ 96 `migration_report` calls) on first use.
+pub fn migration_matrix(roles: &[RoleClass]) -> &'static MigrationMatrix {
+    static MATRIX: OnceLock<MigrationMatrix> = OnceLock::new();
+    MATRIX.get_or_init(|| {
+        let n = roles.len();
+        let mut costs = vec![None; 4 * n * 4 * n];
+        for &fm in &DeviceId::ALL {
+            let from_dev = hw_catalog::device(fm);
+            for (fr, from_role) in roles.iter().enumerate() {
+                for &tm in &DeviceId::ALL {
+                    let to_dev = hw_catalog::device(tm);
+                    for (tr, to_role) in roles.iter().enumerate() {
+                        let idx = (((fm as usize * n + fr) * 4) + tm as usize) * n + tr;
+                        costs[idx] =
+                            migration_report(&from_dev, &from_role.spec, &to_dev, &to_role.spec)
+                                .ok()
+                                .map(|rep| {
+                                    DEPLOY_BASE_PS + rep.cmd_modifications as Picos * CMD_MOD_PS
+                                });
+                    }
+                }
+            }
+        }
+        MigrationMatrix { costs, n_roles: n }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::standard_catalog;
+    use crate::traffic::DiurnalTraffic;
+
+    fn demo(n: usize) -> (Inventory, Vec<RoleClass>, Vec<u64>) {
+        let inv = Inventory::sample(n, 5);
+        let roles = standard_catalog();
+        let gen = DiurnalTraffic::new(n as u64 * crate::USERS_PER_DEVICE, 5);
+        let schedule = gen.schedule(crate::TICKS_PER_DAY, &roles);
+        let peaks = DiurnalTraffic::peak_per_role(&schedule, &roles);
+        (inv, roles, peaks)
+    }
+
+    #[test]
+    fn best_fit_respects_fit_and_is_deterministic() {
+        let (inv, roles, peaks) = demo(256);
+        let a = place(PlacementPolicy::BestFit, &inv, &roles, &peaks, 1).unwrap();
+        let b = place(PlacementPolicy::BestFit, &inv, &roles, &peaks, 99).unwrap();
+        assert_eq!(a, b, "best-fit ignores the seed");
+        for asg in &a {
+            assert!(roles[asg.role].fits(inv.devices[asg.device as usize].model));
+        }
+        // No device claimed twice.
+        let mut seen = std::collections::HashSet::new();
+        assert!(a.iter().all(|asg| seen.insert(asg.device)));
+    }
+
+    #[test]
+    fn best_fit_leaves_spares() {
+        let (inv, roles, peaks) = demo(256);
+        let a = place(PlacementPolicy::BestFit, &inv, &roles, &peaks, 1).unwrap();
+        assert!(a.len() < inv.devices.len(), "placement should not claim the whole fleet");
+    }
+
+    #[test]
+    fn random_is_seeded_and_fit_checked() {
+        let (inv, roles, peaks) = demo(256);
+        let a = place(PlacementPolicy::Random, &inv, &roles, &peaks, 7).unwrap();
+        let b = place(PlacementPolicy::Random, &inv, &roles, &peaks, 7).unwrap();
+        assert_eq!(a, b, "same seed, same scatter");
+        for asg in &a {
+            assert!(roles[asg.role].fits(inv.devices[asg.device as usize].model));
+        }
+        let c = place(PlacementPolicy::Random, &inv, &roles, &peaks, 8).unwrap();
+        assert_ne!(a, c, "different seed, different scatter");
+    }
+
+    #[test]
+    fn policy_env_parses() {
+        assert_eq!(PlacementPolicy::BestFit.name(), "bestfit");
+        assert_eq!(PlacementPolicy::Random.name(), "random");
+    }
+
+    #[test]
+    fn tiny_fleet_reports_insufficient_capacity() {
+        let inv = Inventory::sample(4, 1);
+        let roles = standard_catalog();
+        // A demand far beyond what four devices can serve.
+        let peaks = vec![u64::MAX / 2_000_000; roles.len()];
+        let err = place(PlacementPolicy::BestFit, &inv, &roles, &peaks, 1).unwrap_err();
+        let PlacementError::InsufficientCapacity { demand, .. } = err;
+        assert!(demand > 0);
+    }
+
+    #[test]
+    fn migration_matrix_has_feasible_and_infeasible_pairs() {
+        let roles = standard_catalog();
+        let m = migration_matrix(&roles);
+        let retrieval = roles.iter().position(|r| r.name == "retrieval").unwrap();
+        let l4lb = roles.iter().position(|r| r.name == "l4lb").unwrap();
+        // l4lb A→B is a real migration with a cost.
+        let c = m.cost(DeviceId::A, l4lb, DeviceId::B, l4lb).unwrap();
+        assert!(c >= DEPLOY_BASE_PS);
+        // retrieval cannot land on C (no DRAM at all).
+        assert!(m.cost(DeviceId::A, retrieval, DeviceId::C, retrieval).is_none());
+    }
+}

@@ -133,6 +133,20 @@ impl FleetModel {
     /// Years are independent, so the sweep fans out across the scoped
     /// worker pool; ordered reassembly keeps the output identical to the
     /// serial loop at any `HARMONIA_THREADS`.
+    ///
+    /// ```
+    /// use harmonia_metrics::fleet::FleetModel;
+    ///
+    /// let mut model = FleetModel::new(2020, 4);
+    /// model.introduce(2020, 1_000, 2).introduce(2022, 2_000, 2);
+    /// let years = model.run(2023);
+    /// assert_eq!(years.len(), 4); // 2020..=2023, in order
+    /// assert_eq!(years[0].new_units, 1_000);
+    /// // 2023: gen-1 aged out of deployment, gen-2 still rolling out;
+    /// // everything deployed since 2020 is within the 4-year lifecycle.
+    /// assert_eq!(years[3].new_units, 2_000);
+    /// assert_eq!(years[3].total_units, 6_000);
+    /// ```
     pub fn run(&self, end_year: u32) -> Vec<FleetYear> {
         harmonia_sim::exec::par_sweep(self.start_year..=end_year, |year| self.year(year))
     }

@@ -84,6 +84,29 @@ impl LogHistogram {
         self.max = self.max.max(v);
     }
 
+    /// Records `n` samples of value `v` in O(1) — the bulk entry point
+    /// for aggregate models (the fleet control plane records whole
+    /// per-tick command cohorts this way instead of looping).
+    ///
+    /// ```
+    /// use harmonia_sim::histo::LogHistogram;
+    /// let mut a = LogHistogram::new();
+    /// let mut b = LogHistogram::new();
+    /// a.record_n(500, 1_000);
+    /// for _ in 0..1_000 { b.record(500); }
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
     /// Folds another histogram into this one (workers merge into a fleet
     /// view). Merge order does not affect any reported statistic.
     ///
@@ -290,6 +313,24 @@ mod tests {
         assert_eq!(ab.count(), 6);
         assert_eq!(ab.min(), 5);
         assert_eq!(ab.max(), 160_000);
+    }
+
+    #[test]
+    fn record_n_matches_looped_records() {
+        let mut bulk = LogHistogram::new();
+        let mut looped = LogHistogram::new();
+        for (v, n) in [(0u64, 3u64), (100, 7), (65_536, 2)] {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(bulk.count(), 12);
+        // Zero-count is a no-op even for a fresh value.
+        let before = bulk.clone();
+        bulk.record_n(u64::MAX, 0);
+        assert_eq!(bulk, before);
     }
 
     #[test]

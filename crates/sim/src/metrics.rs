@@ -235,6 +235,26 @@ impl MetricsRegistry {
             .record(sample);
     }
 
+    /// Folds a pre-built [`LogHistogram`] into a histogram-backed metric
+    /// in one lock acquisition. Aggregate planes (the fleet controller's
+    /// per-device latency histograms) publish through this instead of
+    /// replaying millions of `observe` calls.
+    pub fn observe_histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        histogram: &LogHistogram,
+    ) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut buf = inner.lock().expect("metrics registry poisoned");
+        buf.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .merge(histogram);
+    }
+
     /// Clones the current state into a frozen [`MetricsSnapshot`]
     /// (empty when disabled).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -918,6 +938,27 @@ mod tests {
         assert!(prom.contains("cmds_total{rbb=\"2\"} 4"));
         // One TYPE header covers both series.
         assert_eq!(prom.matches("# TYPE cmds_total counter").count(), 1);
+    }
+
+    #[test]
+    fn observe_histogram_merges_like_individual_observes() {
+        let mut pre = LogHistogram::new();
+        pre.record_n(1_000, 5);
+        pre.record(64_000);
+        let bulk = MetricsRegistry::enabled();
+        bulk.observe("lat_ps", &[], 10); // pre-existing content survives
+        bulk.observe_histogram("lat_ps", &[], &pre);
+        let looped = MetricsRegistry::enabled();
+        looped.observe("lat_ps", &[], 10);
+        for _ in 0..5 {
+            looped.observe("lat_ps", &[], 1_000);
+        }
+        looped.observe("lat_ps", &[], 64_000);
+        assert_eq!(bulk.snapshot(), looped.snapshot());
+        // Disabled registries stay inert.
+        let off = MetricsRegistry::disabled();
+        off.observe_histogram("lat_ps", &[], &pre);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]
